@@ -1,0 +1,48 @@
+// Ablation for the paper's §4.2 claim: "Experimental results indicated
+// that a value [of alpha] around 0.2 typically produces the best results."
+// Sweeps the re-weighting coefficient over the LAC loop on a subset of the
+// suite and reports remaining violations, total flip-flops and solve
+// counts per alpha, aggregated across circuits.
+#include <cstdio>
+#include <vector>
+
+#include "base/str_util.h"
+#include "base/table.h"
+#include "bench89/suite.h"
+#include "planner/interconnect_planner.h"
+
+int main() {
+  using namespace lac;
+
+  const std::vector<double> alphas{0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0};
+  const std::vector<const char*> circuits{"y386", "y526", "y838", "y1269",
+                                          "y1423"};
+
+  std::printf("=== Alpha sweep (LAC re-weighting coefficient) ===\n\n");
+  TextTable table({"alpha", "sum N_FOA", "sum N_F", "avg N_wr"});
+  for (const double alpha : alphas) {
+    long long foa = 0, nf = 0;
+    double nwr = 0.0;
+    for (const char* name : circuits) {
+      const auto& entry = bench89::entry_by_name(name);
+      const auto nl = bench89::load(entry);
+      planner::PlannerConfig cfg;
+      cfg.seed = 7;
+      cfg.num_blocks = entry.recommended_blocks;
+      cfg.lac_opt.alpha = alpha;
+      planner::InterconnectPlanner planner(cfg);
+      const auto res = planner.plan(nl);
+      foa += res.lac.report.n_foa;
+      nf += res.lac.report.n_f;
+      nwr += res.lac.n_wr;
+    }
+    table.add_row({format_double(alpha, 2), std::to_string(foa),
+                   std::to_string(nf),
+                   format_double(nwr / static_cast<double>(circuits.size()), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: alpha = 0 degenerates to plain min-area\n"
+              "retiming (weights never change), very large alpha overshoots;\n"
+              "values around 0.2 give the fewest remaining violations.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces the paper's second-iteration claim (Table 1, parenthesised
+// N_FOA column and §5 discussion): when LAC-retiming cannot remove all
+// violations, the floorplanning stage expands the congested soft blocks
+// and channels and interconnect planning re-runs; after that second
+// iteration the violations disappear (for all but one pathological circuit
+// in the paper).  This bench drives up to three planning iterations per
+// circuit and prints the violation trajectory.
+#include <cstdio>
+#include <string>
+
+#include "base/table.h"
+#include "bench89/suite.h"
+#include "planner/interconnect_planner.h"
+
+int main() {
+  using namespace lac;
+
+  std::printf("=== Planning-iteration convergence (floorplan expansion) ===\n\n");
+  TextTable table({"circuit", "iter1:MA_FOA", "iter1:LAC_FOA", "iter2:LAC_FOA",
+                   "iter3:LAC_FOA", "converged"});
+
+  for (const auto& entry : bench89::table1_suite()) {
+    const auto nl = bench89::load(entry);
+    planner::PlannerConfig cfg;
+    cfg.seed = 7;
+    cfg.num_blocks = entry.recommended_blocks;
+    planner::InterconnectPlanner planner(cfg);
+
+    auto res = planner.plan(nl);
+    const auto ma1 = res.min_area.report.n_foa;
+    const auto lac1 = res.lac.report.n_foa;
+    std::string it2 = "-", it3 = "-";
+    if (!res.lac.report.fits()) {
+      auto second = planner.replan_expanded(nl, res);
+      if (second) {
+        it2 = std::to_string(second->lac.report.n_foa);
+        res = std::move(*second);
+        if (!res.lac.report.fits()) {
+          auto third = planner.replan_expanded(nl, res);
+          if (third) {
+            it3 = std::to_string(third->lac.report.n_foa);
+            res = std::move(*third);
+          }
+        }
+      }
+    }
+    table.add_row({entry.spec.name, std::to_string(ma1), std::to_string(lac1),
+                   it2, it3, res.lac.report.fits() ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper: all circuits converge after <= 2 iterations except one\n"
+              "(s1269, whose floorplan changes drastically on expansion).\n");
+  return 0;
+}

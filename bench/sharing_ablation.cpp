@@ -1,0 +1,56 @@
+// Extension ablation: per-edge register counting (the paper's model,
+// Eqn. (3)) vs register-sharing-aware min-area retiming (Leiserson–Saxe
+// mirror-vertex model).  Run on the pure-logic graphs of the Table-1
+// suite at T_min: how many registers does each objective report, and how
+// much does the per-edge model overstate the physical register count?
+#include <cstdio>
+
+#include "base/str_util.h"
+#include "base/table.h"
+#include "bench89/suite.h"
+#include "retime/apply.h"
+#include "retime/constraints.h"
+#include "retime/min_area.h"
+#include "retime/sharing.h"
+#include "retime/wd_matrices.h"
+
+int main() {
+  using namespace lac;
+
+  std::printf("=== Per-edge vs register-sharing min-area retiming ===\n\n");
+  TextTable table({"circuit", "T_min(ps)", "edge-obj N_F", "its shared cost",
+                   "shared-obj cost", "overstatement"});
+  for (const auto& entry : bench89::table1_suite()) {
+    const auto nl = bench89::load(entry);
+    const auto lg = retime::build_logic_graph(nl, 60.0);
+    const auto wd = retime::WdMatrices::compute(lg.graph);
+    const double t_min = retime::min_period_retiming(lg.graph, wd);
+    const auto t = retime::to_decips(t_min);
+    const auto cs = retime::build_constraints(lg.graph, wd, t);
+    std::vector<double> ones(
+        static_cast<std::size_t>(lg.graph.num_vertices()), 1.0);
+
+    const auto r_edge = retime::min_area_retiming(lg.graph, cs);
+    const auto r_shared =
+        retime::min_area_retiming_shared(lg.graph, wd, t, ones);
+
+    const double edge_nf = retime::weighted_ff_area(lg.graph, *r_edge, ones);
+    const double edge_shared = retime::shared_ff_area(lg.graph, *r_edge, ones);
+    const double shared_opt =
+        retime::shared_ff_area(lg.graph, *r_shared, ones);
+    table.add_row({entry.spec.name, format_double(t_min, 1),
+                   format_double(edge_nf, 0), format_double(edge_shared, 0),
+                   format_double(shared_opt, 0),
+                   format_double(100.0 * (edge_nf - shared_opt) /
+                                     std::max(1.0, shared_opt),
+                                 0) +
+                       "%"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "The per-edge objective (used by the paper and by our Table-1 area\n"
+      "accounting) overstates the physically required registers whenever\n"
+      "multi-fanout vertices carry registers; the sharing-aware optimiser\n"
+      "bounds the real hardware cost from below.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Realises the paper's Figure 2: the tile graph over a floorplan with
+// hard blocks, soft blocks and channel/dead regions.  Prints the ASCII
+// tile classification plus per-kind capacity statistics so the capacity
+// model (merged soft-block tiles, hard-block sites, channel utilisation)
+// is visible at a glance.
+#include <cstdio>
+#include <map>
+
+#include "base/rng.h"
+#include "floorplan/floorplanner.h"
+#include "tile/tile_grid.h"
+
+int main() {
+  using namespace lac;
+
+  // A mixed floorplan: nine blocks, every third hard.
+  Rng rng(2026);
+  std::vector<floorplan::BlockSpec> blocks(9);
+  for (int i = 0; i < 9; ++i) {
+    auto& b = blocks[static_cast<std::size_t>(i)];
+    b.name = "blk" + std::to_string(i);
+    b.area = 4e5 + static_cast<double>(rng.uniform(6)) * 1e5;
+    if (i % 3 == 2) {
+      b.hard = true;
+      const Coord side = static_cast<Coord>(std::lround(std::sqrt(b.area)));
+      b.fixed_w = side;
+      b.fixed_h = side;
+    }
+  }
+  floorplan::FloorplanOptions fopt;
+  fopt.whitespace_target = 0.3;
+  fopt.seed = 5;
+  const auto fp = floorplan::floorplan_blocks(blocks, fopt);
+  std::printf("chip %lld x %lld um, whitespace %.1f%%\n\n",
+              static_cast<long long>(fp.chip.width()),
+              static_cast<long long>(fp.chip.height()),
+              100.0 * fp.whitespace_fraction);
+
+  std::vector<double> used(blocks.size(), 0.0);
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    used[b] = fp.placement[b].area() * 0.9;  // functional units fill 90%
+
+  tile::TileGridOptions topt;
+  topt.tile_size = 250;
+  topt.hard_sites_per_cell = 2;
+  topt.site_area = 2500.0;
+  const tile::TileGrid grid(fp, used, topt);
+
+  std::printf("tile graph (%d x %d cells; letters = soft blocks, # = hard "
+              "blocks, . = channel/dead):\n\n%s\n",
+              grid.nx(), grid.ny(), grid.render_ascii().c_str());
+
+  std::map<tile::TileKind, std::pair<int, double>> stats;
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    auto& [count, cap] = stats[grid.kind(tile::TileId{t})];
+    ++count;
+    cap += grid.capacity(tile::TileId{t});
+  }
+  const auto chan = stats[tile::TileKind::kChannel];
+  const auto soft = stats[tile::TileKind::kSoftBlock];
+  const auto hard = stats[tile::TileKind::kHardBlock];
+  std::printf("logical tiles: %d channel (cap %.0f um^2 total), %d merged "
+              "soft (cap %.0f), %d hard cells (cap %.0f)\n",
+              chan.first, chan.second, soft.first, soft.second, hard.first,
+              hard.second);
+  std::printf("\nA flip-flop (2500 um^2) fits ~%d times in an average "
+              "channel tile but only %d times in a hard-block cell.\n",
+              static_cast<int>(chan.second / chan.first / 2500.0),
+              static_cast<int>(hard.second / std::max(1, hard.first) / 2500.0));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Runtime invariant checks that stay on in release builds.
+//
+// EDA data structures are easy to corrupt silently (dangling ids, negative
+// edge weights, off-grid coordinates).  `LAC_CHECK` expresses preconditions
+// and invariants; violations throw `lac::CheckError` so tests can assert on
+// them and applications fail loudly instead of producing wrong layouts.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lac {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace lac
+
+#define LAC_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::lac::detail::check_failed(#expr, __FILE__, __LINE__, {});    \
+  } while (0)
+
+#define LAC_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream lac_check_os_;                              \
+      lac_check_os_ << msg;                                          \
+      ::lac::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  lac_check_os_.str());              \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,80 @@
+// Planar geometry primitives for floorplanning, tiling and routing.
+//
+// All coordinates are in database units (double micrometres are avoided in
+// the floorplan/tiling layer; we use `double` only for areas/delays).  The
+// library works on a Manhattan (rectilinear) metric throughout.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace lac {
+
+using Coord = std::int64_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+// L1 (Manhattan) distance — wirelength metric for global routing.
+[[nodiscard]] constexpr Coord manhattan(const Point& a, const Point& b) {
+  const Coord dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const Coord dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+// Axis-aligned rectangle, half-open in neither sense: [lo.x, hi.x] x
+// [lo.y, hi.y].  A rect with hi < lo on either axis is empty.
+struct Rect {
+  Point lo;
+  Point hi;
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] constexpr Coord width() const { return hi.x - lo.x; }
+  [[nodiscard]] constexpr Coord height() const { return hi.y - lo.y; }
+  [[nodiscard]] constexpr bool empty() const {
+    return hi.x < lo.x || hi.y < lo.y;
+  }
+  [[nodiscard]] constexpr double area() const {
+    if (empty()) return 0.0;
+    return static_cast<double>(width()) * static_cast<double>(height());
+  }
+  [[nodiscard]] constexpr Point center() const {
+    return Point{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  }
+  [[nodiscard]] constexpr bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  // Strict interior overlap: touching boundaries do not count.  This is the
+  // right notion for floorplan legality (abutting blocks are legal).
+  [[nodiscard]] constexpr bool overlaps(const Rect& o) const {
+    return lo.x < o.hi.x && o.lo.x < hi.x && lo.y < o.hi.y && o.lo.y < hi.y;
+  }
+  [[nodiscard]] constexpr Rect intersect(const Rect& o) const {
+    return Rect{{std::max(lo.x, o.lo.x), std::max(lo.y, o.lo.y)},
+                {std::min(hi.x, o.hi.x), std::min(hi.y, o.hi.y)}};
+  }
+  [[nodiscard]] constexpr Rect bounding_union(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Rect{{std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y)},
+                {std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y)}};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.lo << ".." << r.hi << ']';
+}
+
+}  // namespace lac

@@ -1,0 +1,61 @@
+// Strongly-typed integer identifiers.
+//
+// Every subsystem in this library indexes its objects with dense integer
+// ids (cells, nets, vertices, tiles, blocks...).  Using a raw `int`
+// everywhere invites silent cross-indexing bugs (passing a net id where a
+// cell id is expected), so each domain declares its own `Id` instantiation:
+//
+//   struct CellTag {};
+//   using CellId = lac::Id<CellTag>;
+//
+// An `Id` is trivially copyable, ordered, hashable, and convertible to its
+// underlying index only through the explicit `value()` accessor.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace lac {
+
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::int32_t;
+
+  // Default-constructed ids are invalid; `valid()` distinguishes them.
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : v_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ >= 0; }
+
+  // Index into dense arrays.  Only meaningful for valid ids.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(v_);
+  }
+
+  [[nodiscard]] static constexpr Id invalid() { return Id{}; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  value_type v_ = -1;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+}  // namespace lac
+
+template <typename Tag>
+struct std::hash<lac::Id<Tag>> {
+  std::size_t operator()(lac::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

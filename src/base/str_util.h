@@ -1,0 +1,26 @@
+// Small string helpers shared by the .bench parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lac {
+
+// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+// Split on any character in `delims`, dropping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  std::string_view delims);
+
+// Case-insensitive ASCII equality (bench keywords: DFF vs dff).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+// Upper-case copy.
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+// printf-style %.3f without locale surprises.
+[[nodiscard]] std::string format_double(double v, int precision);
+
+}  // namespace lac

@@ -1,0 +1,45 @@
+#include "base/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace lac {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LAC_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  LAC_CHECK_MSG(row.size() == header_.size(),
+                "row width " << row.size() << " != header " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace lac

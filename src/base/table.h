@@ -1,0 +1,24 @@
+// Minimal fixed-width text table writer used by the benchmark harnesses to
+// print paper-style result tables (Table 1 and the ablation sweeps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lac {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Render with column alignment and a header separator line.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lac

@@ -1,0 +1,77 @@
+#include "bench89/suite.h"
+
+#include "base/check.h"
+#include "netlist/bench_io.h"
+
+namespace lac::bench89 {
+
+namespace {
+
+constexpr const char* kS27Bench = R"(# s27 — ISCAS89
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+SuiteEntry make(const char* name, int pi, int po, int gates, int dffs,
+                int depth, std::uint64_t seed, int blocks) {
+  SuiteEntry e;
+  e.spec.name = name;
+  e.spec.num_inputs = pi;
+  e.spec.num_outputs = po;
+  e.spec.num_gates = gates;
+  e.spec.num_dffs = dffs;
+  e.spec.depth = depth;
+  e.spec.seed = seed;
+  e.recommended_blocks = blocks;
+  return e;
+}
+
+}  // namespace
+
+netlist::Netlist s27() { return netlist::parse_bench(kS27Bench, "s27"); }
+
+const std::vector<SuiteEntry>& table1_suite() {
+  // Size points follow the published ISCAS89 statistics (gates, DFFs, I/O,
+  // approximate logic depth) for the circuits the paper's table spans.
+  static const std::vector<SuiteEntry> suite = {
+      make("y298", 3, 6, 119, 14, 9, 298, 6),
+      make("y386", 7, 7, 159, 6, 11, 386, 6),
+      make("y400", 3, 6, 164, 21, 9, 400, 6),
+      make("y526", 3, 6, 193, 21, 9, 526, 8),
+      make("y641", 35, 24, 379, 19, 23, 641, 9),
+      make("y838", 34, 1, 446, 32, 25, 838, 9),
+      make("y953", 16, 23, 395, 29, 16, 953, 9),
+      make("y1196", 14, 14, 529, 18, 24, 1196, 12),
+      make("y1269", 18, 10, 569, 37, 18, 1269, 12),
+      make("y1423", 17, 5, 657, 74, 30, 1423, 12),
+  };
+  return suite;
+}
+
+netlist::Netlist load(const SuiteEntry& entry) {
+  return netlist::generate_netlist(entry.spec);
+}
+
+const SuiteEntry& entry_by_name(const std::string& name) {
+  for (const auto& e : table1_suite())
+    if (e.spec.name == name) return e;
+  LAC_CHECK_MSG(false, "unknown suite circuit: " << name);
+}
+
+}  // namespace lac::bench89

@@ -1,0 +1,39 @@
+// Benchmark circuits for the paper reproduction.
+//
+// The paper evaluates on ISCAS89 circuits treated as RT-level netlists.
+// This module provides:
+//   * `s27()` — the tiny public ISCAS89 circuit s27, embedded verbatim,
+//     used as a parser fixture and end-to-end smoke test;
+//   * `table1_suite()` — ten seeded synthetic stand-ins named yNNN after
+//     the ISCAS89 size points (y298 ... y1423); gate/DFF/IO counts and
+//     logic depths match the published circuit statistics.  See DESIGN.md
+//     §4 for why this substitution preserves the paper's comparison.
+// Real .bench files, when available, can be loaded with
+// netlist::parse_bench_file and run through exactly the same harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/generator.h"
+#include "netlist/netlist.h"
+
+namespace lac::bench89 {
+
+[[nodiscard]] netlist::Netlist s27();
+
+struct SuiteEntry {
+  netlist::GenSpec spec;
+  int recommended_blocks = 9;  // partition granularity for the planner
+};
+
+// The ten-circuit Table-1 suite, smallest first.
+[[nodiscard]] const std::vector<SuiteEntry>& table1_suite();
+
+// Loads one suite circuit (generation is deterministic).
+[[nodiscard]] netlist::Netlist load(const SuiteEntry& entry);
+
+// Lookup by name (e.g. "y641"); throws CheckError if unknown.
+[[nodiscard]] const SuiteEntry& entry_by_name(const std::string& name);
+
+}  // namespace lac::bench89

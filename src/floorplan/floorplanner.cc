@@ -1,0 +1,210 @@
+#include "floorplan/floorplanner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "floorplan/sequence_pair.h"
+
+namespace lac::floorplan {
+
+namespace {
+
+std::pair<Coord, Coord> dims_for(const BlockSpec& b, double aspect) {
+  if (b.hard) {
+    LAC_CHECK(b.fixed_w > 0 && b.fixed_h > 0);
+    return {b.fixed_w, b.fixed_h};
+  }
+  LAC_CHECK(b.area > 0.0);
+  const double w = std::sqrt(b.area * aspect);
+  const Coord wi = std::max<Coord>(1, static_cast<Coord>(std::lround(w)));
+  const Coord hi = std::max<Coord>(
+      1, static_cast<Coord>(std::ceil(b.area / static_cast<double>(wi))));
+  return {wi, hi};
+}
+
+double packing_cost(const Packing& pk) {
+  const double area = static_cast<double>(pk.width) * static_cast<double>(pk.height);
+  const double ar = pk.height == 0
+                        ? 1.0
+                        : static_cast<double>(pk.width) / static_cast<double>(pk.height);
+  const double squareness = std::max(ar, 1.0 / std::max(ar, 1e-9)) - 1.0;
+  return area * (1.0 + 0.1 * squareness);
+}
+
+}  // namespace
+
+BlockId Floorplan::block_at(const Point& p) const {
+  for (int b = 0; b < num_blocks(); ++b)
+    if (placement[static_cast<std::size_t>(b)].contains(p))
+      return BlockId{b};
+  return BlockId::invalid();
+}
+
+Floorplan floorplan_blocks(std::vector<BlockSpec> blocks,
+                           const FloorplanOptions& opt) {
+  const int n = static_cast<int>(blocks.size());
+  LAC_CHECK(n >= 1);
+  Rng rng(opt.seed ^ 0xF10077ULL);
+
+  SequencePair sp = SequencePair::identity(n);
+  // Random initial permutations.
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(sp.p[static_cast<std::size_t>(i)],
+              sp.p[rng.uniform(static_cast<std::uint64_t>(i + 1))]);
+    std::swap(sp.q[static_cast<std::size_t>(i)],
+              sp.q[rng.uniform(static_cast<std::uint64_t>(i + 1))]);
+  }
+  std::vector<double> aspect(static_cast<std::size_t>(n), 1.0);
+  auto all_dims = [&] {
+    std::vector<std::pair<Coord, Coord>> dims;
+    dims.reserve(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b)
+      dims.push_back(dims_for(blocks[static_cast<std::size_t>(b)],
+                              aspect[static_cast<std::size_t>(b)]));
+    return dims;
+  };
+
+  double cost = packing_cost(pack(sp, all_dims()));
+  SequencePair best_sp = sp;
+  std::vector<double> best_aspect = aspect;
+  double best_cost = cost;
+
+  // Calibrate T0 from the average uphill delta of a random-move sample.
+  double avg_delta = 0.0;
+  {
+    int samples = 0;
+    for (int s = 0; s < 50; ++s) {
+      SequencePair trial = sp;
+      const int i = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      const int j = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      std::swap(trial.p[static_cast<std::size_t>(i)],
+                trial.p[static_cast<std::size_t>(j)]);
+      const double d = packing_cost(pack(trial, all_dims())) - cost;
+      if (d > 0) {
+        avg_delta += d;
+        ++samples;
+      }
+    }
+    if (samples > 0) avg_delta /= samples;
+    if (avg_delta <= 0) avg_delta = std::max(1.0, cost * 0.01);
+  }
+  double temp = -avg_delta / std::log(opt.initial_accept_prob);
+
+  const int moves_per_temp = std::max(10, 4 * n);
+  const int total_moves = std::max(200, opt.sa_moves_per_block * n);
+  for (int move = 0; move < total_moves; ++move) {
+    SequencePair trial = sp;
+    std::vector<double> trial_aspect = aspect;
+    const double kind = rng.uniform_real();
+    const int i = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const int j = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (kind < 0.35) {
+      std::swap(trial.p[static_cast<std::size_t>(i)],
+                trial.p[static_cast<std::size_t>(j)]);
+    } else if (kind < 0.70) {
+      std::swap(trial.q[static_cast<std::size_t>(i)],
+                trial.q[static_cast<std::size_t>(j)]);
+    } else if (kind < 0.85) {
+      std::swap(trial.p[static_cast<std::size_t>(i)],
+                trial.p[static_cast<std::size_t>(j)]);
+      std::swap(trial.q[static_cast<std::size_t>(i)],
+                trial.q[static_cast<std::size_t>(j)]);
+    } else {
+      // Reshape a random soft block within its aspect range (hard blocks
+      // have no shaping freedom; retry cheaply by falling through).
+      const auto& b = blocks[static_cast<std::size_t>(i)];
+      if (!b.hard) {
+        const double lo = b.aspect_min, hi = b.aspect_max;
+        trial_aspect[static_cast<std::size_t>(i)] =
+            lo + (hi - lo) * rng.uniform_real();
+      }
+    }
+    std::vector<std::pair<Coord, Coord>> dims;
+    dims.reserve(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b)
+      dims.push_back(dims_for(blocks[static_cast<std::size_t>(b)],
+                              trial_aspect[static_cast<std::size_t>(b)]));
+    const double trial_cost = packing_cost(pack(trial, dims));
+    const double delta = trial_cost - cost;
+    if (delta <= 0 || rng.uniform_real() < std::exp(-delta / temp)) {
+      sp = std::move(trial);
+      aspect = std::move(trial_aspect);
+      cost = trial_cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_sp = sp;
+        best_aspect = aspect;
+      }
+    }
+    if ((move + 1) % moves_per_temp == 0) temp *= opt.cooling;
+  }
+
+  // Final packing of the best state, then spread to realise whitespace.
+  aspect = best_aspect;
+  const auto dims = all_dims();
+  const Packing pk = pack(best_sp, dims);
+
+  double block_area = 0.0;
+  for (const auto& [w, h] : dims)
+    block_area += static_cast<double>(w) * static_cast<double>(h);
+  const double packed_area =
+      static_cast<double>(pk.width) * static_cast<double>(pk.height);
+  const double want_chip_area =
+      block_area / std::max(1e-9, 1.0 - opt.whitespace_target);
+  const double scale =
+      std::max(1.0, std::sqrt(want_chip_area / std::max(packed_area, 1.0)));
+
+  Floorplan fp;
+  fp.blocks = std::move(blocks);
+  fp.placement.reserve(static_cast<std::size_t>(n));
+  Coord chip_w = 0, chip_h = 0;
+  for (int b = 0; b < n; ++b) {
+    const Point o = pk.origin[static_cast<std::size_t>(b)];
+    const Point so{static_cast<Coord>(std::llround(static_cast<double>(o.x) * scale)),
+                   static_cast<Coord>(std::llround(static_cast<double>(o.y) * scale))};
+    const Rect r{so, {so.x + dims[static_cast<std::size_t>(b)].first,
+                      so.y + dims[static_cast<std::size_t>(b)].second}};
+    chip_w = std::max(chip_w, r.hi.x);
+    chip_h = std::max(chip_h, r.hi.y);
+    fp.placement.push_back(r);
+  }
+  // A thin boundary channel around the core keeps I/O routing resources.
+  const Coord margin = std::max<Coord>(1, (chip_w + chip_h) / 100);
+  fp.chip = Rect{{0, 0}, {chip_w + margin, chip_h + margin}};
+  for (auto& r : fp.placement) {
+    r.lo.x += margin / 2;
+    r.lo.y += margin / 2;
+    r.hi.x += margin / 2;
+    r.hi.y += margin / 2;
+  }
+  fp.whitespace_fraction = 1.0 - block_area / fp.chip.area();
+
+  // Invariant: pairwise disjoint interiors.
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      LAC_CHECK_MSG(!fp.placement[static_cast<std::size_t>(a)].overlaps(
+                        fp.placement[static_cast<std::size_t>(b)]),
+                    "floorplanner produced overlapping blocks " << a << "," << b);
+  return fp;
+}
+
+Floorplan refloorplan_expanded(const Floorplan& prev,
+                               const std::vector<double>& new_area,
+                               double extra_whitespace,
+                               const FloorplanOptions& opt) {
+  LAC_CHECK(static_cast<int>(new_area.size()) == prev.num_blocks());
+  std::vector<BlockSpec> blocks = prev.blocks;
+  for (int b = 0; b < prev.num_blocks(); ++b) {
+    auto& spec = blocks[static_cast<std::size_t>(b)];
+    if (spec.hard) continue;  // hard blocks cannot grow
+    LAC_CHECK(new_area[static_cast<std::size_t>(b)] >= spec.area * 0.999);
+    spec.area = new_area[static_cast<std::size_t>(b)];
+  }
+  FloorplanOptions o = opt;
+  o.whitespace_target = std::min(0.9, opt.whitespace_target + extra_whitespace);
+  return floorplan_blocks(std::move(blocks), o);
+}
+
+}  // namespace lac::floorplan

@@ -1,0 +1,70 @@
+// Simulated-annealing sequence-pair floorplanner.
+//
+// Input: one BlockSpec per circuit block (area; hard blocks have fixed
+// dimensions, soft blocks are reshaped within an aspect-ratio range).
+// Output: non-overlapping placements inside a chip rectangle with a
+// configurable whitespace fraction — the whitespace *is* the channel /
+// dead-area resource that the paper's interconnect planner uses for
+// repeater and flip-flop insertion, so we spread the packed blocks apart
+// rather than abutting them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/geometry.h"
+#include "base/ids.h"
+
+namespace lac::floorplan {
+
+struct BlockTag {};
+using BlockId = Id<BlockTag>;
+
+struct BlockSpec {
+  std::string name;
+  double area = 0.0;       // required block area (database units squared)
+  bool hard = false;       // hard blocks keep fixed dimensions
+  double aspect_min = 0.5; // soft-block shaping range (w/h)
+  double aspect_max = 2.0;
+  Coord fixed_w = 0;       // used when hard
+  Coord fixed_h = 0;
+};
+
+struct Floorplan {
+  Rect chip;
+  std::vector<BlockSpec> blocks;
+  std::vector<Rect> placement;  // per block, inside chip, pairwise disjoint
+  double whitespace_fraction = 0.0;  // 1 - (block area / chip area)
+
+  [[nodiscard]] int num_blocks() const {
+    return static_cast<int>(blocks.size());
+  }
+  // Block whose rect contains p (boundaries inclusive, first match), or
+  // invalid if p is in channel / dead area.
+  [[nodiscard]] BlockId block_at(const Point& p) const;
+};
+
+struct FloorplanOptions {
+  double whitespace_target = 0.25;  // fraction of chip left as channels
+  int sa_moves_per_block = 600;     // annealing effort
+  double initial_accept_prob = 0.9;
+  double cooling = 0.95;
+  std::uint64_t seed = 1;
+};
+
+// Anneals a sequence pair minimising bounding-box area (with a mild squareness
+// penalty), then spreads blocks to realise the whitespace target.
+[[nodiscard]] Floorplan floorplan_blocks(std::vector<BlockSpec> blocks,
+                                         const FloorplanOptions& opt = {});
+
+// Planning-iteration-2 support: re-floorplan after the caller has enlarged
+// some block areas (the paper expands congested soft blocks and channels).
+// Uses the same seed so the layout changes incrementally, and bumps the
+// whitespace target by `extra_whitespace`.
+[[nodiscard]] Floorplan refloorplan_expanded(const Floorplan& prev,
+                                             const std::vector<double>& new_area,
+                                             double extra_whitespace,
+                                             const FloorplanOptions& opt = {});
+
+}  // namespace lac::floorplan

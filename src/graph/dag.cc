@@ -1,0 +1,57 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/check.h"
+
+namespace lac::graph {
+
+std::optional<std::vector<int>> topo_order(
+    int num_vertices, const std::vector<std::pair<int, int>>& arcs) {
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(num_vertices));
+  std::vector<int> indeg(static_cast<std::size_t>(num_vertices), 0);
+  for (const auto& [t, h] : arcs) {
+    LAC_CHECK(t >= 0 && t < num_vertices && h >= 0 && h < num_vertices);
+    out[static_cast<std::size_t>(t)].push_back(h);
+    ++indeg[static_cast<std::size_t>(h)];
+  }
+  std::deque<int> ready;
+  for (int v = 0; v < num_vertices; ++v)
+    if (indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(num_vertices));
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const int w : out[static_cast<std::size_t>(v)])
+      if (--indeg[static_cast<std::size_t>(w)] == 0) ready.push_back(w);
+  }
+  if (static_cast<int>(order.size()) != num_vertices) return std::nullopt;
+  return order;
+}
+
+std::vector<double> longest_path_to(
+    int num_vertices, const std::vector<std::pair<int, int>>& arcs,
+    const std::vector<double>& vertex_delay) {
+  LAC_CHECK(static_cast<int>(vertex_delay.size()) == num_vertices);
+  const auto order = topo_order(num_vertices, arcs);
+  LAC_CHECK_MSG(order.has_value(), "longest_path_to requires a DAG");
+
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(num_vertices));
+  for (const auto& [t, h] : arcs) out[static_cast<std::size_t>(t)].push_back(h);
+
+  std::vector<double> dist = vertex_delay;  // path = just the vertex itself
+  for (const int v : *order) {
+    for (const int w : out[static_cast<std::size_t>(v)]) {
+      dist[static_cast<std::size_t>(w)] =
+          std::max(dist[static_cast<std::size_t>(w)],
+                   dist[static_cast<std::size_t>(v)] +
+                       vertex_delay[static_cast<std::size_t>(w)]);
+    }
+  }
+  return dist;
+}
+
+}  // namespace lac::graph

@@ -1,0 +1,27 @@
+// DAG utilities: topological ordering and vertex-weighted longest paths.
+//
+// The retiming layer uses these on the register-free subgraph of a circuit
+// (every cycle of a legal sequential circuit carries at least one flip-flop,
+// so the subgraph of zero-weight edges is acyclic): the longest
+// vertex-delay path there is exactly the minimum feasible clock period of
+// the circuit as-is (T_init in the paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace lac::graph {
+
+// Kahn's algorithm.  Returns nullopt if the arc set contains a cycle.
+[[nodiscard]] std::optional<std::vector<int>> topo_order(
+    int num_vertices, const std::vector<std::pair<int, int>>& arcs);
+
+// For each vertex v, the maximum of Σ delay over all paths ending at v
+// (including v itself).  Arcs must form a DAG; throws CheckError otherwise.
+[[nodiscard]] std::vector<double> longest_path_to(
+    int num_vertices, const std::vector<std::pair<int, int>>& arcs,
+    const std::vector<double>& vertex_delay);
+
+}  // namespace lac::graph

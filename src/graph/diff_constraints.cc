@@ -1,0 +1,61 @@
+#include "graph/diff_constraints.h"
+
+#include <deque>
+
+#include "base/check.h"
+
+namespace lac::graph {
+
+DiffConstraints::DiffConstraints(int num_vars) : num_vars_(num_vars) {
+  LAC_CHECK(num_vars >= 0);
+}
+
+void DiffConstraints::add(int u, int v, std::int64_t c) {
+  LAC_CHECK(u >= 0 && u < num_vars_);
+  LAC_CHECK(v >= 0 && v < num_vars_);
+  arcs_.push_back({u, v, c});
+}
+
+std::optional<std::vector<std::int64_t>> DiffConstraints::solve() const {
+  // Adjacency: relaxation arc v -> u with weight c means
+  // dist[u] <= dist[v] + c, matching x[u] - x[v] <= c.
+  std::vector<int> head(static_cast<std::size_t>(num_vars_), -1);
+  std::vector<int> next(arcs_.size(), -1);
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    next[i] = head[static_cast<std::size_t>(arcs_[i].v)];
+    head[static_cast<std::size_t>(arcs_[i].v)] = static_cast<int>(i);
+  }
+
+  // Virtual source = all vertices start at distance 0 and in the queue.
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(num_vars_), 0);
+  std::vector<int> relax_count(static_cast<std::size_t>(num_vars_), 0);
+  std::vector<char> in_queue(static_cast<std::size_t>(num_vars_), 1);
+  std::deque<int> queue;
+  for (int v = 0; v < num_vars_; ++v) queue.push_back(v);
+
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    in_queue[static_cast<std::size_t>(v)] = 0;
+    for (int i = head[static_cast<std::size_t>(v)]; i != -1;
+         i = next[static_cast<std::size_t>(i)]) {
+      const Arc& a = arcs_[static_cast<std::size_t>(i)];
+      if (dist[static_cast<std::size_t>(v)] + a.c <
+          dist[static_cast<std::size_t>(a.u)]) {
+        dist[static_cast<std::size_t>(a.u)] =
+            dist[static_cast<std::size_t>(v)] + a.c;
+        // A vertex relaxed more than num_vars_ times lies on (or is reachable
+        // from) a negative cycle.
+        if (++relax_count[static_cast<std::size_t>(a.u)] > num_vars_)
+          return std::nullopt;
+        if (!in_queue[static_cast<std::size_t>(a.u)]) {
+          in_queue[static_cast<std::size_t>(a.u)] = 1;
+          queue.push_back(a.u);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace lac::graph

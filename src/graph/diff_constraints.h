@@ -1,0 +1,55 @@
+// System-of-difference-constraints solver.
+//
+// Retiming legality and clock-period feasibility (Leiserson–Saxe constraints
+// (1) and (2) of the paper) are systems of the form
+//
+//     x[u] - x[v] <= c        for each constraint (u, v, c)
+//
+// which are feasible iff the corresponding constraint graph (arc v -> u with
+// weight c ... equivalently arc u -> v, see below) has no negative cycle.
+// We use the standard formulation: constraint x[u] - x[v] <= c becomes an
+// arc (v -> u) with weight c; single-source shortest paths from a virtual
+// source reaching every vertex yield a feasible assignment x = dist.
+//
+// The solver is Bellman–Ford with a queue (SPFA) plus an iteration bound for
+// negative-cycle detection; it is exact and handles arbitrary integer
+// weights.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lac::graph {
+
+class DiffConstraints {
+ public:
+  explicit DiffConstraints(int num_vars);
+
+  // Add constraint  x[u] - x[v] <= c.
+  void add(int u, int v, std::int64_t c);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] std::size_t num_constraints() const { return arcs_.size(); }
+
+  // Returns a feasible assignment, or nullopt if the system is infeasible
+  // (negative cycle).  The assignment is the shortest-path tree from a
+  // virtual source with 0-weight arcs to all vertices, so all values are
+  // <= 0; callers may shift by a constant freely.
+  [[nodiscard]] std::optional<std::vector<std::int64_t>> solve() const;
+
+  // Feasibility check only (same cost as solve()).
+  [[nodiscard]] bool feasible() const { return solve().has_value(); }
+
+ private:
+  struct Arc {
+    int u;  // constrained variable (head of shortest-path relaxation)
+    int v;  // reference variable
+    std::int64_t c;
+  };
+
+  int num_vars_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace lac::graph

@@ -1,0 +1,74 @@
+// Minimum-cost flow via successive shortest paths with Johnson potentials.
+//
+// This is the optimisation engine behind (weighted) min-area retiming: the
+// retiming LP  min Σ b(v)·r(v)  s.t.  r(u) − r(v) ≤ c(u,v)  is the linear-
+// programming dual of a transshipment problem, and the optimal node
+// potentials of that flow problem recover an optimal integral retiming
+// (see retime/min_area.cc for the exact reduction).
+//
+// Features required by that use and supported here:
+//   * negative arc costs (clock constraints can have cost W(u,v) − 1 = −1
+//     or lower) — handled by Bellman–Ford initial potentials;
+//   * "infinite" capacities (use MinCostFlow::kInfCap);
+//   * node supplies/demands (b-flow), with Σ supply = 0 enforced;
+//   * exposure of the final potentials, which is what retiming reads back.
+//
+// Complexity: O(#augmentations · E log V) with #augmentations ≤ V for
+// b-flows shipped greedily source-by-source.  Costs/flows are int64;
+// the objective is accumulated in __int128 to avoid overflow.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace lac::graph {
+
+class MinCostFlow {
+ public:
+  static constexpr std::int64_t kInfCap =
+      std::numeric_limits<std::int64_t>::max() / 4;
+
+  explicit MinCostFlow(int num_nodes);
+
+  // Adds a directed arc; returns its index for later flow queries.
+  int add_arc(int from, int to, std::int64_t capacity, std::int64_t cost);
+
+  // Positive supply = net out-flow the node must ship; negative = demand.
+  void set_supply(int node, std::int64_t supply);
+  void add_supply(int node, std::int64_t delta);
+
+  struct Solution {
+    // Exact optimum objective (Σ cost·flow), also as double for reporting.
+    double total_cost = 0.0;
+    // Flow on each arc, indexed by add_arc() return values.
+    std::vector<std::int64_t> flow;
+    // Node potentials π at optimality: for every arc (u,v) with residual
+    // capacity, cost(u,v) + π(u) − π(v) ≥ 0.  These are the dual values the
+    // retiming layer consumes.
+    std::vector<std::int64_t> potential;
+  };
+
+  // Returns nullopt if the instance is infeasible (supplies cannot be
+  // routed) or unbounded (negative cycle of infinite-capacity arcs).
+  [[nodiscard]] std::optional<Solution> solve();
+
+  [[nodiscard]] int num_nodes() const { return n_; }
+  [[nodiscard]] int num_arcs() const { return static_cast<int>(arc_to_.size()) / 2; }
+
+ private:
+  // Paired-arc residual representation: arc 2i is forward, 2i+1 backward.
+  int n_;
+  std::vector<int> arc_to_;
+  std::vector<std::int64_t> arc_cap_;   // residual capacity
+  std::vector<std::int64_t> arc_cost_;
+  std::vector<std::vector<int>> out_;   // node -> residual arc indices
+  std::vector<std::int64_t> supply_;
+
+  // Bellman–Ford over residual arcs with cap > 0; nullopt on negative cycle.
+  [[nodiscard]] std::optional<std::vector<std::int64_t>> initial_potentials()
+      const;
+};
+
+}  // namespace lac::graph

@@ -1,0 +1,172 @@
+#include "netlist/bench_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "base/str_util.h"
+
+namespace lac::netlist {
+
+namespace {
+
+struct PendingGate {
+  std::string name;
+  CellType type = CellType::kBuf;
+  std::vector<std::string> args;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  LAC_CHECK_MSG(false, "bench parse error at line " << line << ": " << msg);
+}
+
+// Parses "HEAD(a, b, c)" -> {HEAD, {a,b,c}}.  Returns false if no parens.
+bool parse_call(std::string_view s, std::string_view& head,
+                std::vector<std::string>& args) {
+  const auto lp = s.find('(');
+  const auto rp = s.rfind(')');
+  if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp)
+    return false;
+  head = trim(s.substr(0, lp));
+  args.clear();
+  for (const auto piece : split(s.substr(lp + 1, rp - lp - 1), ","))
+    args.emplace_back(trim(piece));
+  return true;
+}
+
+}  // namespace
+
+Netlist parse_bench(std::string_view text, std::string_view netlist_name) {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<PendingGate> gates;
+  std::unordered_set<std::string> defined;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl_pos = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl_pos == std::string_view::npos ? std::string_view::npos
+                                                          : nl_pos - pos);
+    pos = nl_pos == std::string_view::npos ? text.size() + 1 : nl_pos + 1;
+    ++line_no;
+
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(...) or OUTPUT(...)
+      std::string_view head;
+      std::vector<std::string> args;
+      if (!parse_call(line, head, args) || args.size() != 1)
+        fail(line_no, "expected INPUT(x) or OUTPUT(x), got '" +
+                          std::string(line) + "'");
+      if (iequals(head, "INPUT")) {
+        if (!defined.insert(args[0]).second)
+          fail(line_no, "redefinition of signal " + args[0]);
+        inputs.push_back(args[0]);
+      } else if (iequals(head, "OUTPUT")) {
+        outputs.push_back(args[0]);
+      } else {
+        fail(line_no, "unknown directive '" + std::string(head) + "'");
+      }
+      continue;
+    }
+
+    PendingGate g;
+    g.name = std::string(trim(line.substr(0, eq)));
+    g.line = line_no;
+    std::string_view head;
+    if (!parse_call(line.substr(eq + 1), head, g.args))
+      fail(line_no, "expected TYPE(args) on right-hand side");
+    const auto type = parse_cell_type(head);
+    if (!type) fail(line_no, "unknown cell type '" + std::string(head) + "'");
+    if (*type == CellType::kInput || *type == CellType::kOutput)
+      fail(line_no, "INPUT/OUTPUT cannot appear on a right-hand side");
+    g.type = *type;
+    if (g.name.empty()) fail(line_no, "empty signal name");
+    if (!defined.insert(g.name).second)
+      fail(line_no, "redefinition of signal " + g.name);
+    gates.push_back(std::move(g));
+  }
+
+  Netlist nl{std::string(netlist_name)};
+  for (const auto& in : inputs) nl.add_cell(in, CellType::kInput);
+  for (const auto& g : gates) nl.add_cell(g.name, g.type);
+  // Resolve fanins now that every signal exists.
+  for (const auto& g : gates) {
+    const CellId cell = *nl.find(g.name);
+    const Arity a = cell_arity(g.type);
+    if (static_cast<int>(g.args.size()) < a.min ||
+        (a.max >= 0 && static_cast<int>(g.args.size()) > a.max))
+      fail(g.line, "bad fanin count for " + g.name);
+    for (const auto& arg : g.args) {
+      const auto drv = nl.find(arg);
+      if (!drv) fail(g.line, "undefined signal '" + arg + "' feeding " + g.name);
+      nl.connect(cell, *drv);
+    }
+  }
+  // Materialise primary outputs.
+  for (const auto& out : outputs) {
+    const auto drv = nl.find(out);
+    LAC_CHECK_MSG(drv.has_value(), "OUTPUT(" << out << ") of undefined signal");
+    const CellId po = nl.add_cell(out + "__po", CellType::kOutput);
+    nl.connect(po, *drv);
+  }
+
+  const auto err = nl.validate();
+  LAC_CHECK_MSG(!err, "parsed netlist invalid: " << *err);
+  return nl;
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  LAC_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Netlist name = file stem.
+  auto stem = path;
+  if (const auto slash = stem.rfind('/'); slash != std::string::npos)
+    stem = stem.substr(slash + 1);
+  if (const auto dot = stem.rfind('.'); dot != std::string::npos)
+    stem = stem.substr(0, dot);
+  return parse_bench(buf.str(), stem);
+}
+
+std::string write_bench(const Netlist& nl) {
+  std::ostringstream os;
+  os << "# " << nl.name() << " — written by lacretime\n";
+  for (const CellId c : nl.cells_of_type(CellType::kInput))
+    os << "INPUT(" << nl.cell_name(c) << ")\n";
+  for (const CellId c : nl.cells_of_type(CellType::kOutput)) {
+    LAC_CHECK(nl.fanins(c).size() == 1);
+    os << "OUTPUT(" << nl.cell_name(nl.fanins(c)[0]) << ")\n";
+  }
+  for (const CellId c : nl.cells()) {
+    const CellType t = nl.type(c);
+    if (t == CellType::kInput || t == CellType::kOutput) continue;
+    os << nl.cell_name(c) << " = " << cell_type_name(t) << '(';
+    const auto fi = nl.fanins(c);
+    for (std::size_t i = 0; i < fi.size(); ++i) {
+      if (i) os << ", ";
+      os << nl.cell_name(fi[i]);
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+void write_bench_file(const Netlist& nl, const std::string& path) {
+  std::ofstream out(path);
+  LAC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << write_bench(nl);
+}
+
+}  // namespace lac::netlist

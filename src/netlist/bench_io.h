@@ -1,0 +1,35 @@
+// ISCAS89 .bench reader/writer.
+//
+// Grammar (as used by the ISCAS89 distribution and its addendum):
+//   # comment to end of line
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = TYPE(arg1, arg2, ...)
+//
+// OUTPUT(x) declares a primary output driven by signal x; we materialise it
+// as a kOutput cell named "x__po" so that signal x itself can still be a
+// gate.  The writer reverses this, so parse/write round-trips exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace lac::netlist {
+
+struct BenchParseError {
+  int line = 0;
+  std::string message;
+};
+
+// Throws lac::CheckError wrapping line/message on malformed input.
+[[nodiscard]] Netlist parse_bench(std::string_view text,
+                                  std::string_view netlist_name = "bench");
+[[nodiscard]] Netlist parse_bench_file(const std::string& path);
+
+[[nodiscard]] std::string write_bench(const Netlist& nl);
+void write_bench_file(const Netlist& nl, const std::string& path);
+
+}  // namespace lac::netlist

@@ -1,0 +1,55 @@
+#include "netlist/cell.h"
+
+#include "base/check.h"
+#include "base/str_util.h"
+
+namespace lac::netlist {
+
+std::string_view cell_type_name(CellType t) {
+  switch (t) {
+    case CellType::kInput: return "INPUT";
+    case CellType::kOutput: return "OUTPUT";
+    case CellType::kDff: return "DFF";
+    case CellType::kBuf: return "BUF";
+    case CellType::kNot: return "NOT";
+    case CellType::kAnd: return "AND";
+    case CellType::kNand: return "NAND";
+    case CellType::kOr: return "OR";
+    case CellType::kNor: return "NOR";
+    case CellType::kXor: return "XOR";
+    case CellType::kXnor: return "XNOR";
+  }
+  LAC_CHECK_MSG(false, "unknown cell type");
+}
+
+std::optional<CellType> parse_cell_type(std::string_view s) {
+  for (const CellType t :
+       {CellType::kInput, CellType::kOutput, CellType::kDff, CellType::kBuf,
+        CellType::kNot, CellType::kAnd, CellType::kNand, CellType::kOr,
+        CellType::kNor, CellType::kXor, CellType::kXnor}) {
+    if (iequals(s, cell_type_name(t))) return t;
+  }
+  // Common .bench aliases.
+  if (iequals(s, "BUFF")) return CellType::kBuf;
+  if (iequals(s, "INV")) return CellType::kNot;
+  return std::nullopt;
+}
+
+Arity cell_arity(CellType t) {
+  switch (t) {
+    case CellType::kInput: return {0, 0};
+    case CellType::kOutput: return {1, 1};
+    case CellType::kDff: return {1, 1};
+    case CellType::kBuf: return {1, 1};
+    case CellType::kNot: return {1, 1};
+    case CellType::kAnd:
+    case CellType::kNand:
+    case CellType::kOr:
+    case CellType::kNor:
+    case CellType::kXor:
+    case CellType::kXnor: return {1, -1};
+  }
+  LAC_CHECK_MSG(false, "unknown cell type");
+}
+
+}  // namespace lac::netlist

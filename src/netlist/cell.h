@@ -1,0 +1,53 @@
+// Cell model for gate-level / RT-level sequential netlists.
+//
+// The paper treats ISCAS89 gate-level netlists as RT-level netlists: every
+// gate is a functional unit with (inflated) area and delay.  We therefore
+// keep the cell vocabulary small — the ISCAS89 .bench primitive set plus
+// primary inputs/outputs and the edge-triggered DFF.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "base/ids.h"
+
+namespace lac::netlist {
+
+struct CellTag {};
+using CellId = Id<CellTag>;
+
+enum class CellType : std::uint8_t {
+  kInput,   // primary input (no fanin)
+  kOutput,  // primary output (exactly one fanin)
+  kDff,     // edge-triggered flip-flop (exactly one fanin)
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+// .bench keyword for a type (upper case), e.g. kNand -> "NAND".
+[[nodiscard]] std::string_view cell_type_name(CellType t);
+
+// Parse a .bench keyword (case-insensitive); nullopt for unknown names.
+[[nodiscard]] std::optional<CellType> parse_cell_type(std::string_view s);
+
+// Allowed fanin counts.  min==max for fixed-arity cells; variadic gates
+// (AND/NAND/OR/NOR/XOR/XNOR) accept [1, unlimited) in .bench practice.
+struct Arity {
+  int min = 0;
+  int max = 0;  // max < 0 means unbounded
+};
+[[nodiscard]] Arity cell_arity(CellType t);
+
+[[nodiscard]] constexpr bool is_combinational(CellType t) {
+  return t != CellType::kInput && t != CellType::kOutput &&
+         t != CellType::kDff;
+}
+
+}  // namespace lac::netlist

@@ -1,0 +1,37 @@
+// Seeded generator of ISCAS89-shaped sequential netlists.
+//
+// The paper evaluates on ISCAS89 circuits.  The real .bench files cannot be
+// shipped in this offline environment (see DESIGN.md §4), so this generator
+// produces structurally equivalent stand-ins: a layered acyclic
+// combinational core over primary inputs and flip-flop outputs, flip-flops
+// that close sequential cycles (so min-period/min-area retiming has real
+// work to do), realistic gate-type and fanin/fanout distributions, and
+// every cycle crossing at least one DFF (validated).
+//
+// Determinism: the output depends only on the spec (including the seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace lac::netlist {
+
+struct GenSpec {
+  std::string name = "synth";
+  int num_inputs = 8;
+  int num_outputs = 8;
+  int num_gates = 100;   // combinational cells
+  int num_dffs = 10;
+  int depth = 8;         // target combinational depth (layers)
+  double dff_chain_prob = 0.1;  // probability a DFF feeds from another DFF
+  std::uint64_t seed = 1;
+};
+
+// Generates a legal netlist (validate() passes).  The gate count is exact;
+// the primary-output count may exceed the spec when dangling last-layer
+// gates are promoted to outputs (kept rare by construction).
+[[nodiscard]] Netlist generate_netlist(const GenSpec& spec);
+
+}  // namespace lac::netlist

@@ -1,0 +1,92 @@
+#include "netlist/netlist.h"
+
+#include <sstream>
+
+#include "base/check.h"
+#include "graph/dag.h"
+
+namespace lac::netlist {
+
+CellId Netlist::add_cell(std::string_view name, CellType type) {
+  LAC_CHECK_MSG(!name.empty(), "cell name must be non-empty");
+  LAC_CHECK_MSG(by_name_.find(std::string(name)) == by_name_.end(),
+                "duplicate cell name: " << name);
+  const CellId id{static_cast<CellId::value_type>(type_.size())};
+  type_.push_back(type);
+  cell_name_.emplace_back(name);
+  fanin_.emplace_back();
+  fanout_.emplace_back();
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+void Netlist::connect(CellId cell, CellId driver) {
+  LAC_CHECK(cell.valid() && cell.index() < type_.size());
+  LAC_CHECK(driver.valid() && driver.index() < type_.size());
+  fanin_[cell.index()].push_back(driver);
+  fanout_[driver.index()].push_back(cell);
+}
+
+std::optional<CellId> Netlist::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<CellId> Netlist::cells() const {
+  std::vector<CellId> out;
+  out.reserve(type_.size());
+  for (int i = 0; i < num_cells(); ++i) out.emplace_back(i);
+  return out;
+}
+
+std::vector<CellId> Netlist::cells_of_type(CellType t) const {
+  std::vector<CellId> out;
+  for (int i = 0; i < num_cells(); ++i)
+    if (type_[static_cast<std::size_t>(i)] == t) out.emplace_back(i);
+  return out;
+}
+
+int Netlist::count(CellType t) const {
+  int n = 0;
+  for (const CellType ct : type_) n += (ct == t);
+  return n;
+}
+
+int Netlist::num_gates() const {
+  int n = 0;
+  for (const CellType ct : type_) n += is_combinational(ct);
+  return n;
+}
+
+std::optional<std::string> Netlist::validate() const {
+  for (int i = 0; i < num_cells(); ++i) {
+    const CellId c{i};
+    const Arity a = cell_arity(type(c));
+    const int nf = static_cast<int>(fanins(c).size());
+    if (nf < a.min || (a.max >= 0 && nf > a.max)) {
+      std::ostringstream os;
+      os << "cell " << cell_name(c) << " (" << cell_type_name(type(c))
+         << ") has " << nf << " fanins, allowed [" << a.min << ","
+         << (a.max < 0 ? std::string("inf") : std::to_string(a.max)) << "]";
+      return os.str();
+    }
+  }
+  // Combinational subgraph (arcs that do not leave a DFF and do not enter a
+  // DFF's output — i.e. arcs driver->sink where the driver is not a DFF)
+  // must be acyclic: a cycle of such arcs is a flip-flop-free loop.
+  std::vector<std::pair<int, int>> comb_arcs;
+  for (int i = 0; i < num_cells(); ++i) {
+    const CellId c{i};
+    if (type(c) == CellType::kDff) continue;  // DFF output breaks the path
+    for (const CellId f : fanins(c)) {
+      if (type(f) == CellType::kDff) continue;
+      comb_arcs.emplace_back(f.value(), i);
+    }
+  }
+  if (!graph::topo_order(num_cells(), comb_arcs))
+    return "combinational cycle (a directed cycle with no DFF)";
+  return std::nullopt;
+}
+
+}  // namespace lac::netlist

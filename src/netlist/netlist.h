@@ -1,0 +1,74 @@
+// Sequential gate-level netlist.
+//
+// Cells are stored densely and indexed by `CellId`; connectivity is a fanin
+// list per cell with derived fanout lists.  Names are unique and preserved
+// through .bench round-trips.
+//
+// Structural legality (`validate()`):
+//   * arities respected (INPUT no fanin, OUTPUT/DFF/NOT/BUF exactly one);
+//   * all fanin references resolve;
+//   * every directed cycle passes through at least one DFF — i.e. the
+//     combinational subgraph is acyclic.  This is the precondition for the
+//     whole retiming machinery.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell.h"
+
+namespace lac::netlist {
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist") : name_(std::move(name)) {}
+
+  // --- construction -------------------------------------------------------
+  // Adds a cell with no fanins yet; name must be unique and non-empty.
+  CellId add_cell(std::string_view name, CellType type);
+  // Appends `driver` to `cell`'s fanin list.
+  void connect(CellId cell, CellId driver);
+
+  // --- accessors -----------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] int num_cells() const { return static_cast<int>(type_.size()); }
+  [[nodiscard]] CellType type(CellId c) const { return type_.at(c.index()); }
+  [[nodiscard]] const std::string& cell_name(CellId c) const {
+    return cell_name_.at(c.index());
+  }
+  [[nodiscard]] std::span<const CellId> fanins(CellId c) const {
+    return fanin_.at(c.index());
+  }
+  [[nodiscard]] std::span<const CellId> fanouts(CellId c) const {
+    return fanout_.at(c.index());
+  }
+  [[nodiscard]] std::optional<CellId> find(std::string_view name) const;
+
+  // All cell ids, 0..num_cells-1, for range-for convenience.
+  [[nodiscard]] std::vector<CellId> cells() const;
+  [[nodiscard]] std::vector<CellId> cells_of_type(CellType t) const;
+
+  [[nodiscard]] int count(CellType t) const;
+  // Number of non-DFF, non-IO cells (the paper's "gates").
+  [[nodiscard]] int num_gates() const;
+
+  // --- invariants ----------------------------------------------------------
+  // Returns an error description, or nullopt if the netlist is legal.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+ private:
+  std::string name_;
+  std::vector<CellType> type_;
+  std::vector<std::string> cell_name_;
+  std::vector<std::vector<CellId>> fanin_;
+  std::vector<std::vector<CellId>> fanout_;
+  std::unordered_map<std::string, CellId> by_name_;
+};
+
+}  // namespace lac::netlist

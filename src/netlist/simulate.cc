@@ -1,0 +1,125 @@
+#include "netlist/simulate.h"
+
+#include <utility>
+
+#include "base/check.h"
+#include "graph/dag.h"
+
+namespace lac::netlist {
+
+Logic logic_not(Logic a) {
+  if (a == Logic::kX) return Logic::kX;
+  return a == Logic::kZero ? Logic::kOne : Logic::kZero;
+}
+
+Logic logic_and(Logic a, Logic b) {
+  if (a == Logic::kZero || b == Logic::kZero) return Logic::kZero;
+  if (a == Logic::kOne && b == Logic::kOne) return Logic::kOne;
+  return Logic::kX;
+}
+
+Logic logic_or(Logic a, Logic b) {
+  if (a == Logic::kOne || b == Logic::kOne) return Logic::kOne;
+  if (a == Logic::kZero && b == Logic::kZero) return Logic::kZero;
+  return Logic::kX;
+}
+
+Logic logic_xor(Logic a, Logic b) {
+  if (a == Logic::kX || b == Logic::kX) return Logic::kX;
+  return a == b ? Logic::kZero : Logic::kOne;
+}
+
+namespace {
+
+Logic evaluate(const Netlist& nl, CellId c, const std::vector<Logic>& value) {
+  const auto fi = nl.fanins(c);
+  auto in = [&](std::size_t i) { return value[fi[i].index()]; };
+  switch (nl.type(c)) {
+    case CellType::kBuf:
+    case CellType::kOutput:
+      return in(0);
+    case CellType::kNot:
+      return logic_not(in(0));
+    case CellType::kAnd:
+    case CellType::kNand: {
+      Logic acc = in(0);
+      for (std::size_t i = 1; i < fi.size(); ++i) acc = logic_and(acc, in(i));
+      return nl.type(c) == CellType::kNand ? logic_not(acc) : acc;
+    }
+    case CellType::kOr:
+    case CellType::kNor: {
+      Logic acc = in(0);
+      for (std::size_t i = 1; i < fi.size(); ++i) acc = logic_or(acc, in(i));
+      return nl.type(c) == CellType::kNor ? logic_not(acc) : acc;
+    }
+    case CellType::kXor:
+    case CellType::kXnor: {
+      Logic acc = in(0);
+      for (std::size_t i = 1; i < fi.size(); ++i) acc = logic_xor(acc, in(i));
+      return nl.type(c) == CellType::kXnor ? logic_not(acc) : acc;
+    }
+    case CellType::kInput:
+    case CellType::kDff:
+      break;  // handled by the caller
+  }
+  LAC_CHECK_MSG(false, "evaluate called on non-combinational cell");
+}
+
+}  // namespace
+
+Simulator::Simulator(const Netlist& nl) : nl_(nl) {
+  const auto err = nl.validate();
+  LAC_CHECK_MSG(!err, "cannot simulate invalid netlist: " << *err);
+  inputs_ = nl.cells_of_type(CellType::kInput);
+  outputs_ = nl.cells_of_type(CellType::kOutput);
+
+  // Topological order over combinational cells and outputs (DFF outputs and
+  // PIs are sources whose values exist before combinational evaluation).
+  std::vector<std::pair<int, int>> arcs;
+  for (const auto c : nl.cells()) {
+    if (nl.type(c) == CellType::kDff || nl.type(c) == CellType::kInput)
+      continue;
+    for (const auto f : nl.fanins(c)) {
+      if (nl.type(f) == CellType::kDff || nl.type(f) == CellType::kInput)
+        continue;
+      arcs.emplace_back(f.value(), c.value());
+    }
+  }
+  const auto order = graph::topo_order(nl.num_cells(), arcs);
+  LAC_CHECK(order.has_value());
+  for (const int v : *order) {
+    const CellId c{v};
+    if (nl.type(c) != CellType::kDff && nl.type(c) != CellType::kInput)
+      eval_order_.push_back(c);
+  }
+
+  value_.assign(static_cast<std::size_t>(nl.num_cells()), Logic::kX);
+  ff_state_.assign(static_cast<std::size_t>(nl.num_cells()), Logic::kX);
+}
+
+void Simulator::reset(Logic ff_state) {
+  std::fill(value_.begin(), value_.end(), Logic::kX);
+  std::fill(ff_state_.begin(), ff_state_.end(), ff_state);
+}
+
+std::vector<Logic> Simulator::step(const std::vector<Logic>& inputs) {
+  LAC_CHECK_MSG(static_cast<int>(inputs.size()) == num_inputs(),
+                "expected " << num_inputs() << " input values");
+  for (std::size_t i = 0; i < inputs_.size(); ++i)
+    value_[inputs_[i].index()] = inputs[i];
+  for (const auto d : nl_.cells_of_type(CellType::kDff))
+    value_[d.index()] = ff_state_[d.index()];
+
+  for (const auto c : eval_order_) value_[c.index()] = evaluate(nl_, c, value_);
+
+  std::vector<Logic> out;
+  out.reserve(outputs_.size());
+  for (const auto o : outputs_) out.push_back(value_[o.index()]);
+
+  // Simultaneous flip-flop update.
+  for (const auto d : nl_.cells_of_type(CellType::kDff))
+    ff_state_[d.index()] = value_[nl_.fanins(d)[0].index()];
+  return out;
+}
+
+}  // namespace lac::netlist

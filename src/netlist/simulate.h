@@ -1,0 +1,59 @@
+// Three-valued (0/1/X) event-free cycle simulator for sequential netlists.
+//
+// Used to *functionally verify* retiming: a legal retiming preserves
+// steady-state behaviour, but the transient after power-up differs because
+// relocated registers hold unknown values.  With X-initialised flip-flops,
+// both the original and the retimed circuit compute conservative
+// approximations of the same input/output function, so on any cycle where
+// BOTH outputs are defined (non-X) they must agree.  tests/ and the
+// retime_equivalence example rely on exactly that property.
+//
+// Semantics: combinational evaluation in topological order each cycle with
+// standard Kleene logic (e.g. AND(0, X) = 0, AND(1, X) = X), then all DFFs
+// update simultaneously with their fanin value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace lac::netlist {
+
+enum class Logic : std::uint8_t { kZero = 0, kOne = 1, kX = 2 };
+
+[[nodiscard]] Logic logic_not(Logic a);
+[[nodiscard]] Logic logic_and(Logic a, Logic b);
+[[nodiscard]] Logic logic_or(Logic a, Logic b);
+[[nodiscard]] Logic logic_xor(Logic a, Logic b);
+
+class Simulator {
+ public:
+  // Precomputes the combinational evaluation order.  The netlist must be
+  // valid (see Netlist::validate) and outlive the simulator.
+  explicit Simulator(const Netlist& nl);
+
+  // Resets all flip-flops to X (power-up) or a given constant.
+  void reset(Logic ff_state = Logic::kX);
+
+  // Simulates one clock cycle: applies `inputs` (one value per kInput cell
+  // in cells_of_type order), evaluates logic, samples outputs, then clocks
+  // the flip-flops.  Returns one value per kOutput cell.
+  std::vector<Logic> step(const std::vector<Logic>& inputs);
+
+  [[nodiscard]] int num_inputs() const { return static_cast<int>(inputs_.size()); }
+  [[nodiscard]] int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  // Current value of any cell's output (after the last step()).
+  [[nodiscard]] Logic value(CellId c) const { return value_.at(c.index()); }
+
+ private:
+  const Netlist& nl_;
+  std::vector<CellId> inputs_;
+  std::vector<CellId> outputs_;
+  std::vector<CellId> eval_order_;  // gates + outputs, topological
+  std::vector<Logic> value_;        // per cell
+  std::vector<Logic> ff_state_;     // per cell (DFFs only meaningful)
+};
+
+}  // namespace lac::netlist

@@ -1,0 +1,70 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.h"
+#include "graph/dag.h"
+
+namespace lac::netlist {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.num_cells = nl.num_cells();
+  s.num_gates = nl.num_gates();
+  s.num_dffs = nl.count(CellType::kDff);
+  s.num_inputs = nl.count(CellType::kInput);
+  s.num_outputs = nl.count(CellType::kOutput);
+
+  // Depth over the combinational subgraph, counting gate vertices only.
+  std::vector<std::pair<int, int>> arcs;
+  std::vector<double> unit(static_cast<std::size_t>(nl.num_cells()), 0.0);
+  for (const auto c : nl.cells()) {
+    if (is_combinational(nl.type(c))) unit[c.index()] = 1.0;
+    if (nl.type(c) == CellType::kDff) continue;
+    for (const auto f : nl.fanins(c)) {
+      if (nl.type(f) == CellType::kDff) continue;
+      arcs.emplace_back(f.value(), c.value());
+    }
+  }
+  const auto depths = graph::longest_path_to(nl.num_cells(), arcs, unit);
+  double depth = 0.0;
+  for (const double d : depths) depth = std::max(depth, d);
+  s.logic_depth = static_cast<int>(depth);
+
+  int drivers = 0;
+  long long total_fanout = 0;
+  for (const auto c : nl.cells()) {
+    if (nl.type(c) == CellType::kOutput) continue;
+    const int fo = static_cast<int>(nl.fanouts(c).size());
+    s.max_fanout = std::max(s.max_fanout, fo);
+    total_fanout += fo;
+    ++drivers;
+    if (static_cast<int>(s.fanout_histogram.size()) <= fo)
+      s.fanout_histogram.resize(static_cast<std::size_t>(fo) + 1, 0);
+    ++s.fanout_histogram[static_cast<std::size_t>(fo)];
+  }
+  s.avg_fanout =
+      drivers > 0 ? static_cast<double>(total_fanout) / drivers : 0.0;
+
+  for (const auto d : nl.cells_of_type(CellType::kDff)) {
+    const auto drv = nl.fanins(d)[0];
+    if (nl.type(drv) == CellType::kDff) ++s.dff_chains;
+    // Self-loop: the DFF's driver is a gate fed (possibly directly) by the
+    // DFF itself — only the direct case is counted here.
+    for (const auto f : nl.fanouts(d))
+      if (f == drv) ++s.self_loop_dffs;
+  }
+  return s;
+}
+
+std::string format_stats(const NetlistStats& s, const std::string& name) {
+  std::ostringstream os;
+  os << name << ": " << s.num_gates << " gates, " << s.num_dffs << " DFFs, "
+     << s.num_inputs << " PI, " << s.num_outputs << " PO, depth "
+     << s.logic_depth << ", fanout avg " << s.avg_fanout << " max "
+     << s.max_fanout;
+  return os.str();
+}
+
+}  // namespace lac::netlist

@@ -1,0 +1,42 @@
+// Structural statistics of sequential netlists.
+//
+// Used by the generator's calibration tests (the synthetic suite must
+// match the published ISCAS89 size points not just in counts but in
+// shape), by reports, and by anyone sanity-checking a .bench import.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace lac::netlist {
+
+struct NetlistStats {
+  int num_cells = 0;
+  int num_gates = 0;
+  int num_dffs = 0;
+  int num_inputs = 0;
+  int num_outputs = 0;
+
+  // Combinational depth: longest gate chain between sequential boundaries
+  // (PIs/DFF outputs to POs/DFF inputs), in gate levels.
+  int logic_depth = 0;
+
+  // Fanout distribution over driving cells (gates, PIs and DFFs).
+  int max_fanout = 0;
+  double avg_fanout = 0.0;
+  std::vector<int> fanout_histogram;  // index = fanout, value = #cells
+
+  // Register structure.
+  int dff_chains = 0;      // DFFs directly fed by another DFF
+  int self_loop_dffs = 0;  // DFFs on a length-1 sequential cycle
+};
+
+[[nodiscard]] NetlistStats compute_stats(const Netlist& nl);
+
+// Human-readable one-circuit summary.
+[[nodiscard]] std::string format_stats(const NetlistStats& s,
+                                       const std::string& name);
+
+}  // namespace lac::netlist

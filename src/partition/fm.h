@@ -1,0 +1,41 @@
+// Fiduccia–Mattheyses min-cut bipartitioning with gain buckets, and a
+// recursive driver that produces an area-balanced k-way partition of a
+// netlist into circuit blocks (the paper's precondition: "a partition of
+// the RT level functional units into circuit blocks").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "partition/hypergraph.h"
+
+namespace lac::partition {
+
+struct FmOptions {
+  // Allowed relative deviation of each side's area from its target.
+  double balance_tolerance = 0.10;
+  // FM passes per bisection (each pass is a full move sequence + rollback).
+  int max_passes = 10;
+  std::uint64_t seed = 1;
+};
+
+// Bipartition `active` vertices (a subset of hg's vertices) into sides 0/1
+// with area ratio target0 : (1-target0).  Returns side per active index.
+// `area[v]` must be positive for all active v.
+[[nodiscard]] std::vector<int> fm_bipartition(
+    const Hypergraph& hg, const std::vector<int>& active,
+    const std::vector<double>& area, double target0, const FmOptions& opt);
+
+struct KWayResult {
+  std::vector<int> block_of;  // cell index -> block [0, num_blocks)
+  int cut = 0;                // hyperedges spanning >= 2 blocks
+};
+
+// Recursive bisection into `num_blocks` blocks (any k >= 1).
+[[nodiscard]] KWayResult partition_netlist(const netlist::Netlist& nl,
+                                           const std::vector<double>& cell_area,
+                                           int num_blocks,
+                                           const FmOptions& opt = {});
+
+}  // namespace lac::partition

@@ -1,0 +1,50 @@
+#include "partition/hypergraph.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace lac::partition {
+
+Hypergraph build_hypergraph(const netlist::Netlist& nl) {
+  Hypergraph hg;
+  hg.num_vertices = nl.num_cells();
+  hg.pins_of.resize(static_cast<std::size_t>(hg.num_vertices));
+  for (const auto c : nl.cells()) {
+    const auto fo = nl.fanouts(c);
+    if (fo.empty()) continue;
+    std::vector<int> pins;
+    pins.reserve(fo.size() + 1);
+    pins.push_back(c.value());
+    for (const auto s : fo) pins.push_back(s.value());
+    std::sort(pins.begin() + 1, pins.end());
+    pins.erase(std::unique(pins.begin() + 1, pins.end()), pins.end());
+    // A driver can appear again as its own (self-loop) sink only through a
+    // DFF, which validate() guarantees; drop such self pins.
+    pins.erase(std::remove(pins.begin() + 1, pins.end(), pins.front()),
+               pins.end());
+    if (pins.size() < 2) continue;
+    const int net_idx = hg.num_nets();
+    for (const int p : pins)
+      hg.pins_of[static_cast<std::size_t>(p)].push_back(net_idx);
+    hg.nets.push_back(std::move(pins));
+  }
+  return hg;
+}
+
+int cut_size(const Hypergraph& hg, const std::vector<int>& part) {
+  LAC_CHECK(static_cast<int>(part.size()) == hg.num_vertices);
+  int cut = 0;
+  for (const auto& net : hg.nets) {
+    const int p0 = part[static_cast<std::size_t>(net.front())];
+    for (const int v : net) {
+      if (part[static_cast<std::size_t>(v)] != p0) {
+        ++cut;
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+}  // namespace lac::partition

@@ -1,0 +1,32 @@
+// Hypergraph view of a netlist for partitioning.
+//
+// One hyperedge per driving cell with at least one fanout; its pins are the
+// driver and all distinct sinks.  This is the standard netlist-to-hypergraph
+// mapping: cutting the hyperedge means the signal crosses blocks and becomes
+// a *global interconnect* that the downstream planner must route, buffer and
+// possibly pipeline.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace lac::partition {
+
+struct Hypergraph {
+  int num_vertices = 0;
+  // nets[n] = pin list (vertex indices, first entry is the driver).
+  std::vector<std::vector<int>> nets;
+  // pins_of[v] = net indices containing v.
+  std::vector<std::vector<int>> pins_of;
+
+  [[nodiscard]] int num_nets() const { return static_cast<int>(nets.size()); }
+};
+
+// Vertices are cell ids 0..num_cells-1.
+[[nodiscard]] Hypergraph build_hypergraph(const netlist::Netlist& nl);
+
+// Number of nets with pins in >= 2 distinct parts.
+[[nodiscard]] int cut_size(const Hypergraph& hg, const std::vector<int>& part);
+
+}  // namespace lac::partition

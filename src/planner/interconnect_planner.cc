@@ -1,0 +1,313 @@
+#include "planner/interconnect_planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "partition/fm.h"
+#include "retime/collapse.h"
+#include "retime/min_area.h"
+#include "retime/wd_matrices.h"
+
+namespace lac::planner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double cell_area_of(const netlist::Netlist& nl, netlist::CellId c,
+                    const timing::Technology& tech) {
+  switch (nl.type(c)) {
+    case netlist::CellType::kDff: return tech.dff_area;
+    case netlist::CellType::kInput:
+    case netlist::CellType::kOutput: return tech.dff_area * 0.25;
+    default: return tech.gate_area;
+  }
+}
+
+// Area a cell contributes when *sizing* blocks.  The per-edge retiming model
+// counts a register once per fanout edge (no sharing — paper Eqn. (3)), so
+// blocks must be provisioned for that demand or the area constraints are
+// unsatisfiable by construction rather than by flip-flop placement.
+double sizing_area_of(const netlist::Netlist& nl, netlist::CellId c,
+                      const timing::Technology& tech, double provision) {
+  if (nl.type(c) == netlist::CellType::kDff) {
+    const auto fanouts = nl.fanouts(c).size();
+    return tech.dff_area * provision *
+           static_cast<double>(std::max<std::size_t>(1, fanouts));
+  }
+  return cell_area_of(nl, c, tech);
+}
+
+}  // namespace
+
+InterconnectPlanner::InterconnectPlanner(PlannerConfig config)
+    : config_(std::move(config)) {
+  LAC_CHECK(config_.num_blocks >= 1);
+  LAC_CHECK(config_.clock_slack_fraction >= 0.0 &&
+            config_.clock_slack_fraction <= 1.0);
+  config_.lac_opt.ff_area = config_.tech.dff_area;
+  config_.tile_opt.site_area = config_.tech.dff_area;
+}
+
+PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
+  // 1. Partition cells into circuit blocks.
+  std::vector<double> cell_area(static_cast<std::size_t>(nl.num_cells()));
+  for (const auto c : nl.cells())
+    cell_area[c.index()] = cell_area_of(nl, c, config_.tech);
+  partition::FmOptions fm_opt;
+  fm_opt.seed = config_.seed;
+  const auto part =
+      partition::partition_netlist(nl, cell_area, config_.num_blocks, fm_opt);
+
+  // 2. Size blocks (cells + slack) and floorplan.  Every
+  // ceil(1/hard_fraction)-th block becomes a hard macro.
+  std::vector<floorplan::BlockSpec> specs(
+      static_cast<std::size_t>(config_.num_blocks));
+  for (int b = 0; b < config_.num_blocks; ++b)
+    specs[static_cast<std::size_t>(b)].name = "blk" + std::to_string(b);
+  for (const auto c : nl.cells())
+    specs[static_cast<std::size_t>(part.block_of[c.index()])].area +=
+        sizing_area_of(nl, c, config_.tech, config_.dff_provision_factor);
+  const int hard_every =
+      config_.hard_block_fraction > 0.0
+          ? std::max(1, static_cast<int>(1.0 / config_.hard_block_fraction))
+          : 0;
+  for (int b = 0; b < config_.num_blocks; ++b) {
+    auto& spec = specs[static_cast<std::size_t>(b)];
+    spec.area = std::max(spec.area, config_.tech.gate_area);
+    spec.area *= 1.0 + config_.block_area_slack;
+    if (hard_every > 0 && b % hard_every == hard_every - 1) {
+      spec.hard = true;
+      const Coord side = std::max<Coord>(
+          1, static_cast<Coord>(std::llround(std::sqrt(spec.area))));
+      spec.fixed_w = side;
+      spec.fixed_h = side;
+    }
+  }
+  floorplan::FloorplanOptions fp_opt = config_.fp_opt;
+  fp_opt.seed = config_.seed;
+  auto fp = floorplan::floorplan_blocks(std::move(specs), fp_opt);
+
+  auto result = plan_on_floorplan(nl, part.block_of, std::move(fp));
+  result.circuit = nl.name();
+  return result;
+}
+
+PlanResult InterconnectPlanner::plan_on_floorplan(
+    const netlist::Netlist& nl, std::vector<int> block_of,
+    floorplan::Floorplan fp) const {
+  PlanResult res;
+  res.circuit = nl.name();
+  res.block_of = std::move(block_of);
+  res.fp = std::move(fp);
+
+  // Cell positions: the RT abstraction places every cell at its block's
+  // centre (intra-block distances are not yet known at this stage).
+  std::vector<Point> pos(static_cast<std::size_t>(nl.num_cells()));
+  for (const auto c : nl.cells())
+    pos[c.index()] =
+        res.fp.placement[static_cast<std::size_t>(res.block_of[c.index()])]
+            .center();
+
+  // Soft-block used area: functional units only — original flip-flops are
+  // *not* pre-placed; they compete for the block's slack like relocated
+  // ones (the paper's capacity is "after repeater insertion", FFs float).
+  std::vector<double> used(static_cast<std::size_t>(res.fp.num_blocks()), 0.0);
+  for (const auto c : nl.cells())
+    if (nl.type(c) != netlist::CellType::kDff)
+      used[static_cast<std::size_t>(res.block_of[c.index()])] +=
+          cell_area_of(nl, c, config_.tech);
+
+  res.grid.emplace(res.fp, used, config_.tile_opt);
+  tile::TileGrid& grid = *res.grid;
+
+  // 3. Collapse registers and set up one routing request per driver.
+  const auto connections = retime::collapse_registers(nl);
+  struct NetInfo {
+    route::Cell source;
+    std::vector<route::Cell> sinks;              // distinct sink cells
+    std::unordered_map<int, int> sink_index_of;  // cell idx -> sinks index
+  };
+  std::map<int, NetInfo> nets;  // driver cell id -> net
+  auto grid_cell = [&](netlist::CellId c) {
+    const auto [gx, gy] = grid.cell_of_point(pos[c.index()]);
+    return route::Cell{gx, gy};
+  };
+  for (const auto& conn : connections) {
+    const route::Cell sc = grid_cell(conn.driver);
+    const route::Cell tc = grid_cell(conn.sink);
+    auto& net = nets[conn.driver.value()];
+    net.source = sc;
+    const int cell_idx = tc.gy * grid.nx() + tc.gx;
+    if (net.sink_index_of.find(cell_idx) == net.sink_index_of.end()) {
+      net.sink_index_of.emplace(cell_idx,
+                                static_cast<int>(net.sinks.size()));
+      net.sinks.push_back(tc);
+    }
+  }
+
+  std::vector<route::RouteRequest> requests;
+  std::vector<int> request_driver;
+  for (const auto& [driver, net] : nets) {
+    requests.push_back({net.source, net.sinks});
+    request_driver.push_back(driver);
+  }
+
+  // 4. Global routing + repeater planning.
+  route::GlobalRouter router(grid, config_.route_opt);
+  const auto trees = router.route_all(requests);
+  res.routing = router.stats();
+
+  repeater::RepeaterPlanner rep(grid, config_.tech, config_.repeater_opt);
+  std::vector<repeater::BufferedNet> buffered;
+  buffered.reserve(trees.size());
+  for (const auto& t : trees)
+    buffered.push_back(
+        rep.plan(t, config_.tech.gate_out_res, config_.tech.gate_in_cap));
+  res.repeaters = rep.repeaters_inserted();
+
+  // 5. Build the retiming graph.
+  auto& g = res.graph;
+  std::vector<int> vtx(static_cast<std::size_t>(nl.num_cells()), -1);
+  for (const auto c : nl.cells()) {
+    const auto type = nl.type(c);
+    if (type == netlist::CellType::kDff) continue;
+    const bool io = type == netlist::CellType::kInput ||
+                    type == netlist::CellType::kOutput;
+    const double delay = io ? 0.0 : config_.tech.gate_delay;
+    vtx[c.index()] = g.add_vertex(retime::VertexKind::kFunctional, delay,
+                                  grid.tile_at(pos[c.index()]));
+    if (io) g.mark_io(vtx[c.index()]);
+  }
+
+  // Interconnect-unit chains, deduplicated along shared tree trunks by
+  // (unit ordinal, cell): identical prefixes of two sink paths produce the
+  // same vertices, so trunk flip-flops are shared, not duplicated.
+  // last_unit_of[request][sink_idx] = chain tail vertex (or driver vertex).
+  std::vector<std::vector<int>> last_unit_of(requests.size());
+  for (std::size_t q = 0; q < requests.size(); ++q) {
+    const int driver_vtx = vtx[static_cast<std::size_t>(request_driver[q])];
+    LAC_CHECK(driver_vtx > 0);
+    const auto& bnet = buffered[q];
+    last_unit_of[q].assign(requests[q].sinks.size(), driver_vtx);
+    if (bnet.sinks.empty()) continue;  // unrouted (all sinks colocated)
+    std::map<std::pair<int, int>, int> unit_vtx;  // (ordinal, cell) -> vertex
+    for (std::size_t s = 0; s < bnet.sinks.size(); ++s) {
+      int prev = driver_vtx;
+      const auto& units = bnet.sinks[s].units;
+      for (std::size_t k = 0; k < units.size(); ++k) {
+        const auto& u = units[k];
+        const int cell_idx = u.at.gy * grid.nx() + u.at.gx;
+        const auto key = std::make_pair(static_cast<int>(k), cell_idx);
+        auto it = unit_vtx.find(key);
+        if (it == unit_vtx.end()) {
+          const int v = g.add_vertex(retime::VertexKind::kInterconnect,
+                                     u.delay_ps, u.tile);
+          g.add_edge(prev, v, 0);
+          it = unit_vtx.emplace(key, v).first;
+        }
+        prev = it->second;
+      }
+      last_unit_of[q][s] = prev;
+    }
+  }
+  res.interconnect_units = g.num_interconnect_units();
+
+  // Connection edges carry the register counts on the private last hop.
+  std::unordered_map<int, int> request_of_driver;
+  for (std::size_t q = 0; q < requests.size(); ++q)
+    request_of_driver.emplace(request_driver[q], static_cast<int>(q));
+  for (const auto& conn : connections) {
+    const int uv = vtx[conn.driver.index()];
+    const int vv = vtx[conn.sink.index()];
+    LAC_CHECK(uv > 0 && vv > 0);
+    const int q = request_of_driver.at(conn.driver.value());
+    const route::Cell tc = grid_cell(conn.sink);
+    const int cell_idx = tc.gy * grid.nx() + tc.gx;
+    const int sink_idx = nets.at(conn.driver.value()).sink_index_of.at(cell_idx);
+    const int tail = last_unit_of[static_cast<std::size_t>(q)]
+                                 [static_cast<std::size_t>(sink_idx)];
+    g.add_edge(tail, vv, conn.w);
+  }
+
+  // 6. Timing landmarks.
+  const auto t_wd0 = Clock::now();
+  const auto wd = retime::WdMatrices::compute(g);
+  res.t_init_ps = wd.t_init_ps();
+  res.t_min_ps = retime::min_period_retiming(g, wd);
+  res.t_clk_ps = res.t_min_ps + config_.clock_slack_fraction *
+                                    (res.t_init_ps - res.t_min_ps);
+  const auto t_clk_decips = retime::to_decips(res.t_clk_ps);
+
+  const auto cs = retime::build_constraints(g, wd, t_clk_decips);
+  res.clock_constraints = cs.clock.size();
+  res.clock_constraints_unpruned = cs.clock_before_pruning;
+  res.constraint_gen_seconds = seconds_since(t_wd0);
+
+  // 7. Baseline: plain min-area retiming at T_clk.
+  {
+    const auto t0 = Clock::now();
+    auto r = retime::min_area_retiming(g, cs);
+    LAC_CHECK_MSG(r.has_value(), "T_clk >= T_min must be feasible");
+    res.min_area.r = std::move(*r);
+    res.min_area.report =
+        retime::place_flipflops(g, grid, res.min_area.r, config_.tech.dff_area);
+    res.min_area.exec_seconds = seconds_since(t0);
+    res.min_area.n_wr = 1;
+  }
+
+  // 8. The contribution: LAC-retiming at T_clk.
+  {
+    const auto t0 = Clock::now();
+    auto lac = retime::lac_retiming(g, grid, cs, config_.lac_opt);
+    res.lac.r = std::move(lac.r);
+    res.lac.report = std::move(lac.report);
+    res.lac.n_wr = lac.n_wr;
+    res.lac.exec_seconds = seconds_since(t0);
+  }
+  return res;
+}
+
+std::optional<PlanResult> InterconnectPlanner::replan_expanded(
+    const netlist::Netlist& nl, const PlanResult& prev) const {
+  LAC_CHECK(prev.grid.has_value());
+  const auto& grid = *prev.grid;
+  const auto& rep = prev.lac.report;
+  if (rep.fits()) return std::nullopt;
+
+  // Grow every violating soft block by 1.5x its overflow; violations in
+  // channels or hard blocks translate into a higher whitespace target.
+  std::vector<double> new_area;
+  new_area.reserve(prev.fp.blocks.size());
+  for (const auto& b : prev.fp.blocks) new_area.push_back(b.area);
+  double channel_overflow = 0.0;
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    const tile::TileId tid{t};
+    const double over = rep.ac[static_cast<std::size_t>(t)] - grid.capacity(tid);
+    if (over <= 0.0) continue;
+    if (grid.kind(tid) == tile::TileKind::kSoftBlock) {
+      new_area[grid.block(tid).index()] += 1.5 * over;
+    } else {
+      channel_overflow += over;
+    }
+  }
+  const double extra_ws =
+      std::min(0.2, 2.0 * channel_overflow / prev.fp.chip.area());
+
+  floorplan::FloorplanOptions fp_opt = config_.fp_opt;
+  fp_opt.seed = config_.seed;
+  auto fp = floorplan::refloorplan_expanded(prev.fp, new_area, extra_ws, fp_opt);
+  auto result = plan_on_floorplan(nl, prev.block_of, std::move(fp));
+  result.circuit = nl.name();
+  return result;
+}
+
+}  // namespace lac::planner

@@ -1,0 +1,105 @@
+#include "planner/verify.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "retime/ff_placement.h"
+
+namespace lac::planner {
+
+namespace {
+
+// 0.1 ps quantisation plus float formatting head-room.
+constexpr double kPeriodTolerancePs = 0.11;
+
+void check_reports_equal(const retime::AreaReport& got,
+                         const retime::AreaReport& expect, const char* tag,
+                         std::vector<std::string>& issues) {
+  auto complain = [&](const std::string& what) {
+    issues.push_back(std::string(tag) + ": " + what);
+  };
+  if (got.n_f != expect.n_f) complain("N_F mismatch vs recomputation");
+  if (got.n_fn != expect.n_fn) complain("N_FN mismatch vs recomputation");
+  if (got.n_foa != expect.n_foa) complain("N_FOA mismatch vs recomputation");
+  if (got.ac.size() != expect.ac.size()) {
+    complain("tile count mismatch");
+    return;
+  }
+  for (std::size_t t = 0; t < got.ac.size(); ++t)
+    if (std::abs(got.ac[t] - expect.ac[t]) > 1e-6) {
+      complain("AC(t) mismatch at tile " + std::to_string(t));
+      break;
+    }
+}
+
+}  // namespace
+
+std::string VerifyReport::to_string() const {
+  if (ok()) return "plan verified: all invariants hold";
+  std::ostringstream os;
+  os << issues.size() << " issue(s):\n";
+  for (const auto& i : issues) os << "  - " << i << '\n';
+  return os.str();
+}
+
+VerifyReport verify_plan(const PlanResult& res, const PlannerConfig& config) {
+  VerifyReport rep;
+  auto complain = [&](const std::string& what) { rep.issues.push_back(what); };
+
+  // Floorplan.
+  const auto& fp = res.fp;
+  for (int a = 0; a < fp.num_blocks(); ++a) {
+    const auto& ra = fp.placement[static_cast<std::size_t>(a)];
+    if (ra.lo.x < fp.chip.lo.x || ra.lo.y < fp.chip.lo.y ||
+        ra.hi.x > fp.chip.hi.x || ra.hi.y > fp.chip.hi.y)
+      complain("block " + std::to_string(a) + " outside chip");
+    for (int b = a + 1; b < fp.num_blocks(); ++b)
+      if (ra.overlaps(fp.placement[static_cast<std::size_t>(b)]))
+        complain("blocks " + std::to_string(a) + " and " + std::to_string(b) +
+                 " overlap");
+  }
+
+  // Timing landmarks.
+  if (!(res.t_min_ps <= res.t_clk_ps + 1e-9 &&
+        res.t_clk_ps <= res.t_init_ps + 1e-9))
+    complain("timing landmarks not ordered: T_min <= T_clk <= T_init");
+
+  // Retimings.
+  for (const auto* outcome : {&res.min_area, &res.lac}) {
+    const char* tag = outcome == &res.min_area ? "min-area" : "LAC";
+    if (!res.graph.is_legal_retiming(outcome->r)) {
+      complain(std::string(tag) + ": illegal retiming");
+      continue;
+    }
+    const double p = res.graph.period_after_ps(outcome->r);
+    if (p > res.t_clk_ps + kPeriodTolerancePs)
+      complain(std::string(tag) + ": period " + std::to_string(p) +
+               " exceeds T_clk " + std::to_string(res.t_clk_ps));
+  }
+
+  // Area accounting vs independent recomputation.
+  if (res.grid.has_value()) {
+    if (res.graph.is_legal_retiming(res.min_area.r))
+      check_reports_equal(
+          res.min_area.report,
+          retime::place_flipflops(res.graph, *res.grid, res.min_area.r,
+                                  config.tech.dff_area),
+          "min-area", rep.issues);
+    if (res.graph.is_legal_retiming(res.lac.r))
+      check_reports_equal(res.lac.report,
+                          retime::place_flipflops(res.graph, *res.grid,
+                                                  res.lac.r,
+                                                  config.tech.dff_area),
+                          "LAC", rep.issues);
+  } else {
+    complain("tile grid missing from result");
+  }
+
+  // LAC dominance over the baseline.
+  if (res.lac.report.n_foa > res.min_area.report.n_foa)
+    complain("LAC has more violating flip-flops than the min-area baseline");
+
+  return rep;
+}
+
+}  // namespace lac::planner

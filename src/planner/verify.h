@@ -1,0 +1,32 @@
+// Independent verification of a PlanResult.
+//
+// Re-derives every promise the planner makes from the artifacts themselves
+// — nothing is trusted from the cached summary fields:
+//   * floorplan legality (disjoint blocks inside the chip);
+//   * retiming legality and clock-period compliance for both solutions;
+//   * timing landmark ordering T_min <= T_clk <= T_init;
+//   * flip-flop area accounting matches an independent recomputation;
+//   * LAC dominance: never more violating flip-flops than the min-area
+//     baseline (its first weighted solve IS that baseline).
+//
+// Used by tests and by examples that want a one-call sanity gate after
+// planning, and handy when replaying plans across library versions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "planner/interconnect_planner.h"
+
+namespace lac::planner {
+
+struct VerifyReport {
+  std::vector<std::string> issues;  // empty == verified
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] VerifyReport verify_plan(const PlanResult& res,
+                                       const PlannerConfig& config);
+
+}  // namespace lac::planner

@@ -1,0 +1,91 @@
+#include "retime/apply.h"
+
+#include <string>
+
+#include "base/check.h"
+
+namespace lac::retime {
+
+using netlist::CellId;
+using netlist::CellType;
+using netlist::Netlist;
+
+LogicGraph build_logic_graph(const Netlist& nl, double gate_delay_ps) {
+  LogicGraph lg;
+  lg.vertex_of_cell.assign(static_cast<std::size_t>(nl.num_cells()), -1);
+  for (const auto c : nl.cells()) {
+    const auto type = nl.type(c);
+    if (type == CellType::kDff) continue;
+    const bool io = type == CellType::kInput || type == CellType::kOutput;
+    lg.vertex_of_cell[c.index()] = lg.graph.add_vertex(
+        VertexKind::kFunctional, io ? 0.0 : gate_delay_ps,
+        tile::TileId::invalid());
+    if (io) lg.graph.mark_io(lg.vertex_of_cell[c.index()]);
+  }
+  // One edge per (sink, fanin slot): walk backwards through the register
+  // chain (every DFF has exactly one fanin) to the driving functional unit.
+  for (const auto c : nl.cells()) {
+    if (nl.type(c) == CellType::kDff) continue;
+    const auto fanins = nl.fanins(c);
+    for (int slot = 0; slot < static_cast<int>(fanins.size()); ++slot) {
+      CellId drv = fanins[static_cast<std::size_t>(slot)];
+      int w = 0;
+      while (nl.type(drv) == CellType::kDff) {
+        ++w;
+        drv = nl.fanins(drv)[0];
+      }
+      const int tail = lg.vertex_of_cell[drv.index()];
+      const int head = lg.vertex_of_cell[c.index()];
+      LAC_CHECK(tail > 0 && head > 0);
+      const int e = lg.graph.add_edge(tail, head, w);
+      LAC_CHECK(e == static_cast<int>(lg.slot_of_edge.size()));
+      lg.slot_of_edge.emplace_back(c, slot);
+    }
+  }
+  return lg;
+}
+
+Netlist apply_retiming(const Netlist& nl, const LogicGraph& lg,
+                       const std::vector<int>& r) {
+  LAC_CHECK_MSG(lg.graph.is_legal_retiming(r),
+                "apply_retiming requires a legal retiming");
+  Netlist out(nl.name() + "_retimed");
+
+  // Same non-register cells, same names and types (creation in original id
+  // order keeps name->cell lookups stable).
+  for (const auto c : nl.cells())
+    if (nl.type(c) != CellType::kDff) out.add_cell(nl.cell_name(c), nl.type(c));
+
+  // Inverse map: graph vertex -> source cell.
+  std::vector<CellId> cell_of_vertex(
+      static_cast<std::size_t>(lg.graph.num_vertices()), CellId::invalid());
+  for (const auto c : nl.cells())
+    if (lg.vertex_of_cell[c.index()] >= 0)
+      cell_of_vertex[static_cast<std::size_t>(lg.vertex_of_cell[c.index()])] = c;
+
+  // Rewire every fanin slot through a fresh register chain of length w_r.
+  // Edges were emitted sink-by-sink in fanin-slot order, so connecting in
+  // edge order reconstructs every gate's fanin list in its original order.
+  for (int e = 0; e < lg.graph.num_edges(); ++e) {
+    const auto [sink_cell, slot] = lg.slot_of_edge[static_cast<std::size_t>(e)];
+    (void)slot;
+    const auto w = lg.graph.retimed_weight(e, r);
+    const CellId driver =
+        cell_of_vertex[static_cast<std::size_t>(lg.graph.edge(e).tail)];
+    LAC_CHECK(driver.valid());
+    CellId prev = *out.find(nl.cell_name(driver));
+    for (std::int64_t k = 0; k < w; ++k) {
+      const CellId ff = out.add_cell(
+          "rt" + std::to_string(e) + "_" + std::to_string(k), CellType::kDff);
+      out.connect(ff, prev);
+      prev = ff;
+    }
+    out.connect(*out.find(nl.cell_name(sink_cell)), prev);
+  }
+
+  const auto err = out.validate();
+  LAC_CHECK_MSG(!err, "apply_retiming produced invalid netlist: " << *err);
+  return out;
+}
+
+}  // namespace lac::retime

@@ -1,0 +1,45 @@
+// Building a pure-logic retiming graph from a netlist, and materialising a
+// retiming back INTO a netlist.
+//
+// `build_logic_graph` maps every non-DFF cell to a functional vertex and
+// every (driver, sink-fanin-slot) pair to one edge whose weight is the
+// number of DFFs on the register chain between them — the per-edge model
+// of §3.1.  The slot mapping is retained so `apply_retiming` can
+// reconstruct each gate's fanin list exactly.
+//
+// `apply_retiming` produces a NEW netlist with the same combinational
+// cells and I/O, where each edge carries w_r(e) freshly created DFFs.
+// Together with netlist::Simulator this closes the loop: the retimed
+// machine can be checked I/O-equivalent to the original (see
+// tests/equivalence_test.cc and examples/retime_equivalence.cpp).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "retime/retiming_graph.h"
+
+namespace lac::retime {
+
+struct LogicGraph {
+  RetimingGraph graph;
+  // cell -> vertex (-1 for DFF cells, which become edge weights).
+  std::vector<int> vertex_of_cell;
+  // Edge e of `graph` feeds fanin slot `slot_of_edge[e].second` of cell
+  // `slot_of_edge[e].first` in the source netlist.
+  std::vector<std::pair<netlist::CellId, int>> slot_of_edge;
+};
+
+// Gate vertices get `gate_delay_ps`; I/O cells get delay 0 and pinned
+// labels.  No tiles are assigned (pure-logic use; the planner builds its
+// own physically-annotated graph).
+[[nodiscard]] LogicGraph build_logic_graph(const netlist::Netlist& nl,
+                                           double gate_delay_ps);
+
+// Returns a valid netlist realising the retiming r (which must be legal
+// for lg.graph).  New registers are named "rt<edge>_<position>".
+[[nodiscard]] netlist::Netlist apply_retiming(const netlist::Netlist& nl,
+                                              const LogicGraph& lg,
+                                              const std::vector<int>& r);
+
+}  // namespace lac::retime

@@ -1,0 +1,29 @@
+#include "retime/collapse.h"
+
+#include <utility>
+
+namespace lac::retime {
+
+std::vector<Connection> collapse_registers(const netlist::Netlist& nl) {
+  using netlist::CellId;
+  using netlist::CellType;
+  std::vector<Connection> out;
+  for (const CellId u : nl.cells()) {
+    if (nl.type(u) == CellType::kDff) continue;
+    // DFS through register chains starting at u's fanouts.
+    std::vector<std::pair<CellId, int>> stack;
+    for (const CellId f : nl.fanouts(u)) stack.emplace_back(f, 0);
+    while (!stack.empty()) {
+      const auto [c, w] = stack.back();
+      stack.pop_back();
+      if (nl.type(c) == CellType::kDff) {
+        for (const CellId f : nl.fanouts(c)) stack.emplace_back(f, w + 1);
+      } else {
+        out.push_back({u, c, w});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lac::retime

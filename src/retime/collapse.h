@@ -1,0 +1,28 @@
+// Collapse DFF cells into weighted connections (paper §3.1).
+//
+// A gate-level netlist stores flip-flops as cells; the retiming model
+// stores them as edge weights.  `collapse_registers` traverses every
+// register chain and emits one Connection per (driver, sink) pair of
+// non-DFF cells, weighted by the number of DFFs on the chain between them.
+// Because every DFF has exactly one fanin, the chains reachable from a
+// driver form a tree — the traversal needs no cycle guard.  Pure-register
+// rings that no functional unit drives (dead state machines) are
+// unreachable and dropped.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace lac::retime {
+
+struct Connection {
+  netlist::CellId driver;  // non-DFF
+  netlist::CellId sink;    // non-DFF
+  int w = 0;               // flip-flops between them
+};
+
+[[nodiscard]] std::vector<Connection> collapse_registers(
+    const netlist::Netlist& nl);
+
+}  // namespace lac::retime

@@ -1,0 +1,128 @@
+#include "retime/constraints.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "graph/diff_constraints.h"
+
+namespace lac::retime {
+
+ConstraintSet build_constraints(const RetimingGraph& g, const WdMatrices& wd,
+                                std::int32_t period_decips,
+                                const ConstraintOptions& opt) {
+  const int n = g.num_vertices();
+  LAC_CHECK(wd.n() == n);
+  // Leiserson–Saxe constraint sufficiency requires T >= every single
+  // vertex delay; below that no retiming can meet the period and the
+  // pairwise system would be satisfiable yet meaningless.
+  LAC_CHECK_MSG(period_decips >= wd.max_vertex_delay_decips(),
+                "target period " << period_decips
+                                 << " deci-ps is below the largest unit delay "
+                                 << wd.max_vertex_delay_decips());
+  ConstraintSet cs;
+  cs.num_vars = n;
+
+  for (const auto& e : g.edges()) cs.edge.push_back({e.tail, e.head, e.w});
+  for (const int io : g.io_vertices()) {
+    cs.io.push_back({io, g.host(), 0});
+    cs.io.push_back({g.host(), io, 0});
+  }
+
+  auto violates = [&](int u, int v) {
+    return wd.w(u, v) != WdMatrices::kUnreachable &&
+           wd.d_decips(u, v) > period_decips;
+  };
+
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v || !violates(u, v)) continue;
+      ++cs.clock_before_pruning;
+      if (opt.prune) {
+        bool implied = false;
+        // Target side: (u,x) + edge (x -> v) with a tight weight.
+        for (const int e : g.in_edges(v)) {
+          const auto& ed = g.edge(e);
+          const int x = ed.tail;
+          if (x == v || x == u) continue;
+          if (violates(u, x) &&
+              wd.w(u, v) == wd.w(u, x) + ed.w) {
+            implied = true;
+            break;
+          }
+        }
+        // Source side: edge (u -> y) + (y,v) with a tight weight.
+        if (!implied) {
+          for (const int e : g.out_edges(u)) {
+            const auto& ed = g.edge(e);
+            const int y = ed.head;
+            if (y == u || y == v) continue;
+            if (violates(y, v) &&
+                wd.w(u, v) == ed.w + wd.w(y, v)) {
+              implied = true;
+              break;
+            }
+          }
+        }
+        if (implied) continue;
+      }
+      cs.clock.push_back({u, v, wd.w(u, v) - 1});
+    }
+  }
+  return cs;
+}
+
+namespace {
+
+bool feasible_internal(const ConstraintSet& cs) {
+  graph::DiffConstraints dc(cs.num_vars);
+  cs.for_each([&](const Constraint& c) { dc.add(c.u, c.v, c.c); });
+  return dc.feasible();
+}
+
+std::optional<std::vector<int>> solve_labels(const ConstraintSet& cs) {
+  graph::DiffConstraints dc(cs.num_vars);
+  cs.for_each([&](const Constraint& c) { dc.add(c.u, c.v, c.c); });
+  const auto sol = dc.solve();
+  if (!sol) return std::nullopt;
+  std::vector<int> r(sol->size());
+  for (std::size_t i = 0; i < sol->size(); ++i)
+    r[i] = static_cast<int>((*sol)[i]);
+  return r;
+}
+
+}  // namespace
+
+bool period_feasible(const RetimingGraph& g, const WdMatrices& wd,
+                     std::int32_t period_decips) {
+  if (period_decips < wd.max_vertex_delay_decips()) return false;
+  return feasible_internal(build_constraints(g, wd, period_decips));
+}
+
+double min_period_retiming(const RetimingGraph& g, const WdMatrices& wd,
+                           std::vector<int>* r_out) {
+  std::int32_t lo = wd.max_vertex_delay_decips();
+  std::int32_t hi = to_decips(wd.t_init_ps());
+  LAC_CHECK_MSG(period_feasible(g, wd, hi),
+                "T_init must be feasible (identity retiming)");
+  while (lo < hi) {
+    const std::int32_t mid =
+        lo + static_cast<std::int32_t>((static_cast<std::int64_t>(hi) - lo) / 2);
+    if (period_feasible(g, wd, mid))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  if (r_out != nullptr) {
+    const auto cs = build_constraints(g, wd, hi);
+    auto labels = solve_labels(cs);
+    LAC_CHECK(labels.has_value());
+    // Normalise so the host label is zero (I/O vertices follow via pinning).
+    const int base = (*labels)[static_cast<std::size_t>(g.host())];
+    for (auto& x : *labels) x -= base;
+    LAC_CHECK(g.is_legal_retiming(*labels));
+    *r_out = std::move(*labels);
+  }
+  return from_decips(hi);
+}
+
+}  // namespace lac::retime

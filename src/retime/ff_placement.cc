@@ -1,0 +1,40 @@
+#include "retime/ff_placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace lac::retime {
+
+AreaReport place_flipflops(const RetimingGraph& g, const tile::TileGrid& grid,
+                           const std::vector<int>& r, double ff_area) {
+  LAC_CHECK(ff_area > 0.0);
+  LAC_CHECK(g.is_legal_retiming(r));
+  AreaReport rep;
+  rep.ac.assign(static_cast<std::size_t>(grid.num_tiles()), 0.0);
+
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const std::int64_t w = g.retimed_weight(e, r);
+    if (w == 0) continue;
+    rep.n_f += w;
+    const int tail = g.edge(e).tail;
+    if (g.kind(tail) == VertexKind::kInterconnect) rep.n_fn += w;
+    const tile::TileId t = g.tile(tail);
+    if (t.valid())
+      rep.ac[t.index()] += static_cast<double>(w) * ff_area;
+  }
+
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    const double over = rep.ac[static_cast<std::size_t>(t)] -
+                        grid.capacity(tile::TileId{t});
+    if (over > 1e-9) {
+      ++rep.tiles_violating;
+      rep.worst_overflow = std::max(rep.worst_overflow, over);
+      rep.n_foa += static_cast<std::int64_t>(std::ceil(over / ff_area - 1e-9));
+    }
+  }
+  return rep;
+}
+
+}  // namespace lac::retime

@@ -1,0 +1,40 @@
+// Flip-flop placement and per-tile area accounting (paper §4.2, Eqn. (3)).
+//
+// Placement rule (paper): every flip-flop on edge e lives in the tile of
+// the edge's FANIN unit, P(tail(e)).  The area consumption of tile t is
+//   AC(t) = Σ_{e : P(tail(e)) = t} w_r(e) · ff_area,
+// compared against the remaining capacity C(t) (after functional units and
+// repeaters).  N_FOA — the paper's violation metric — is the number of
+// flip-flops that do not fit: Σ_t ceil(max(0, AC(t) − C(t)) / ff_area).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "retime/retiming_graph.h"
+#include "tile/tile_grid.h"
+
+namespace lac::retime {
+
+struct AreaReport {
+  std::vector<double> ac;      // per tile, µm² of flip-flop area
+  std::int64_t n_f = 0;        // total flip-flops, Σ_e w_r(e)
+  std::int64_t n_fn = 0;       // flip-flops inside interconnects
+                               // (edges whose tail is an interconnect unit)
+  std::int64_t n_foa = 0;      // flip-flops violating local area constraints
+  int tiles_violating = 0;     // tiles with AC > C
+  double worst_overflow = 0.0; // max µm² overflow over tiles
+
+  [[nodiscard]] bool fits() const { return n_foa == 0; }
+};
+
+// Edges whose tail has an invalid tile (host — never has edges — or
+// unplaced vertices) are charged to no tile; the graph builder assigns a
+// tile to every functional and interconnect unit, so in practice every
+// flip-flop is accounted.
+[[nodiscard]] AreaReport place_flipflops(const RetimingGraph& g,
+                                         const tile::TileGrid& grid,
+                                         const std::vector<int>& r,
+                                         double ff_area);
+
+}  // namespace lac::retime

@@ -1,0 +1,83 @@
+#include "retime/lac_retimer.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "retime/min_area.h"
+
+namespace lac::retime {
+
+LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
+                       const ConstraintSet& cs, const LacOptions& opt) {
+  LAC_CHECK(opt.alpha >= 0.0 && opt.alpha <= 1.0);
+  LAC_CHECK(opt.n_max >= 1);
+
+  LacResult best;
+  bool have_best = false;
+
+  std::vector<double> tile_weight(static_cast<std::size_t>(grid.num_tiles()),
+                                  1.0);
+  std::vector<double> area_weight(static_cast<std::size_t>(g.num_vertices()),
+                                  1.0);
+
+  int no_improve = 0;
+  for (int round = 0; round < opt.max_rounds; ++round) {
+    // Vertex weights follow their tile's adaptive weight, with the same
+    // epsilon tie-break as the plain baseline (min_area.cc): cost-equal
+    // registers stay with the logic rather than at an arbitrary position
+    // along a wire's unit chain.
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      const tile::TileId t = g.tile(v);
+      const double tiebreak =
+          g.kind(v) == VertexKind::kInterconnect ? 1.002 : 1.0;
+      area_weight[static_cast<std::size_t>(v)] =
+          (t.valid() ? tile_weight[t.index()] : 1.0) * tiebreak;
+    }
+
+    const auto r = weighted_min_area_retiming(g, cs, area_weight);
+    LAC_CHECK_MSG(r.has_value(), "LAC-retiming called with infeasible period");
+    AreaReport rep = place_flipflops(g, grid, *r, opt.ff_area);
+    const int n_wr_so_far = round + 1;
+
+    const bool improved =
+        !have_best || rep.n_foa < best.report.n_foa ||
+        (rep.n_foa == best.report.n_foa && rep.n_f < best.report.n_f);
+    if (improved) {
+      best.r = *r;
+      best.report = rep;
+      best.tile_weight = tile_weight;
+      have_best = true;
+      no_improve = 0;
+    } else {
+      ++no_improve;
+    }
+    best.n_wr = n_wr_so_far;
+
+    if (rep.n_foa == 0) break;                 // all tiles fit — done
+    if (no_improve >= opt.n_max) break;        // stagnated
+
+    // Adaptive re-weighting (paper step 6).  Over-utilised tiles get
+    // heavier — flip-flops there become expensive — and under-utilised
+    // tiles decay back toward attractiveness.
+    for (int t = 0; t < grid.num_tiles(); ++t) {
+      const double cap = grid.capacity(tile::TileId{t});
+      const double ac = rep.ac[static_cast<std::size_t>(t)];
+      double ratio;
+      if (cap > 1e-9) {
+        ratio = ac / cap;
+      } else {
+        ratio = ac > 0.0 ? opt.full_tile_ratio : 1.0;
+      }
+      ratio = std::min(ratio, opt.full_tile_ratio);
+      double& w = tile_weight[static_cast<std::size_t>(t)];
+      w *= (1.0 - opt.alpha) + opt.alpha * ratio;
+      w = std::clamp(w, opt.weight_min, opt.weight_max);
+    }
+  }
+
+  LAC_CHECK(have_best);
+  best.met_all_constraints = best.report.fits();
+  return best;
+}
+
+}  // namespace lac::retime

@@ -1,0 +1,55 @@
+// Local-Area-Constrained retiming — the paper's core algorithm (§4.2).
+//
+// LAC-retiming asks for a retiming that satisfies edge, clock AND per-tile
+// area constraints.  The area constraints couple many retiming variables,
+// so the problem is an ILP; the paper's heuristic solves a series of
+// *weighted* min-area retimings, re-weighting each tile by its utilisation:
+//
+//   1. build edge + clock constraints once;
+//   2. uniform unit weights;
+//   3. solve weighted min-area retiming (min-cost flow);
+//   4. place flip-flops, compute AC(t) per tile;
+//   5. done if every AC(t) <= C(t), or no improvement for N_max rounds;
+//   6. weight(t) *= (1 - alpha) + alpha * AC(t)/C(t);  goto 3.
+//
+// alpha defaults to 0.2 (the paper: "a value of around 0.2 typically
+// produces the best results").  The best solution seen (fewest violating
+// flip-flops, then fewest total flip-flops) is returned.
+#pragma once
+
+#include <vector>
+
+#include "retime/constraints.h"
+#include "retime/ff_placement.h"
+#include "retime/retiming_graph.h"
+#include "tile/tile_grid.h"
+
+namespace lac::retime {
+
+struct LacOptions {
+  double alpha = 0.2;
+  int n_max = 10;        // consecutive non-improving rounds before giving up
+  int max_rounds = 60;   // absolute safety cap
+  double ff_area = 400;  // µm² per flip-flop (timing::Technology::dff_area)
+  // Weight used for AC/C when a tile has (near-)zero capacity.
+  double full_tile_ratio = 8.0;
+  double weight_min = 1e-3;
+  double weight_max = 1e6;
+};
+
+struct LacResult {
+  std::vector<int> r;        // best retiming found
+  AreaReport report;         // its area accounting
+  int n_wr = 0;              // number of weighted min-area retimings solved
+  bool met_all_constraints = false;
+  std::vector<double> tile_weight;  // final adaptive weights (per tile)
+};
+
+// `cs` must be feasible (callers check the clock period first); throws
+// CheckError otherwise.
+[[nodiscard]] LacResult lac_retiming(const RetimingGraph& g,
+                                     const tile::TileGrid& grid,
+                                     const ConstraintSet& cs,
+                                     const LacOptions& opt = {});
+
+}  // namespace lac::retime

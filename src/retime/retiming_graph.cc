@@ -1,0 +1,99 @@
+#include "retime/retiming_graph.h"
+
+#include <algorithm>
+
+#include "graph/dag.h"
+
+namespace lac::retime {
+
+RetimingGraph::RetimingGraph() {
+  // Vertex 0 is the host.
+  kind_.push_back(VertexKind::kHost);
+  delay_.push_back(0);
+  tile_.push_back(tile::TileId::invalid());
+  out_.emplace_back();
+  in_.emplace_back();
+}
+
+int RetimingGraph::add_vertex(VertexKind kind, double delay_ps,
+                              tile::TileId tile) {
+  LAC_CHECK(kind != VertexKind::kHost);
+  LAC_CHECK(delay_ps >= 0.0);
+  const int v = num_vertices();
+  kind_.push_back(kind);
+  delay_.push_back(to_decips(delay_ps));
+  tile_.push_back(tile);
+  out_.emplace_back();
+  in_.emplace_back();
+  return v;
+}
+
+int RetimingGraph::add_edge(int tail, int head, int w) {
+  LAC_CHECK(tail > 0 && tail < num_vertices());  // host has no edges
+  LAC_CHECK(head > 0 && head < num_vertices());
+  LAC_CHECK(w >= 0);
+  const int e = num_edges();
+  edges_.push_back({tail, head, w});
+  out_[static_cast<std::size_t>(tail)].push_back(e);
+  in_[static_cast<std::size_t>(head)].push_back(e);
+  return e;
+}
+
+void RetimingGraph::mark_io(int v) {
+  LAC_CHECK(v > 0 && v < num_vertices());
+  io_.push_back(v);
+}
+
+int RetimingGraph::num_interconnect_units() const {
+  int n = 0;
+  for (const VertexKind k : kind_) n += (k == VertexKind::kInterconnect);
+  return n;
+}
+
+std::int64_t RetimingGraph::total_weight() const {
+  std::int64_t s = 0;
+  for (const Edge& e : edges_) s += e.w;
+  return s;
+}
+
+std::int64_t RetimingGraph::total_delay_decips() const {
+  std::int64_t s = 0;
+  for (const std::int32_t d : delay_) s += d;
+  return s;
+}
+
+bool RetimingGraph::is_legal_retiming(const std::vector<int>& r) const {
+  if (static_cast<int>(r.size()) != num_vertices()) return false;
+  for (int e = 0; e < num_edges(); ++e)
+    if (retimed_weight(e, r) < 0) return false;
+  for (const int v : io_)
+    if (r[static_cast<std::size_t>(v)] != r[static_cast<std::size_t>(host())])
+      return false;
+  return true;
+}
+
+double RetimingGraph::period_as_is_ps() const {
+  std::vector<int> zero(static_cast<std::size_t>(num_vertices()), 0);
+  return period_after_ps(zero);
+}
+
+double RetimingGraph::period_after_ps(const std::vector<int>& r) const {
+  LAC_CHECK(static_cast<int>(r.size()) == num_vertices());
+  std::vector<std::pair<int, int>> ff_free;
+  for (const Edge& e : edges_) {
+    const std::int64_t w =
+        static_cast<std::int64_t>(e.w) + r[static_cast<std::size_t>(e.head)] -
+        r[static_cast<std::size_t>(e.tail)];
+    LAC_CHECK_MSG(w >= 0, "period_after_ps on an illegal retiming");
+    if (w == 0) ff_free.emplace_back(e.tail, e.head);
+  }
+  std::vector<double> delays(static_cast<std::size_t>(num_vertices()));
+  for (int v = 0; v < num_vertices(); ++v)
+    delays[static_cast<std::size_t>(v)] =
+        static_cast<double>(delay_[static_cast<std::size_t>(v)]);
+  const auto lp = graph::longest_path_to(num_vertices(), ff_free, delays);
+  const double max_decips = *std::max_element(lp.begin(), lp.end());
+  return from_decips(static_cast<std::int64_t>(max_decips + 0.5));
+}
+
+}  // namespace lac::retime

@@ -1,0 +1,122 @@
+// Retiming graph: functional units + interconnect units (paper §3).
+//
+// Vertices model fixed-delay units:
+//   * kFunctional   — gates / RT functional units (and chip I/O with delay 0);
+//   * kInterconnect — repeater-stage segments of routed global wires,
+//                     produced by repeater::RepeaterPlanner;
+//   * kHost         — a single edge-less anchor vertex; the solvers pin
+//                     every I/O vertex's retiming label to the host's so
+//                     that retiming never changes the chip's I/O latency.
+//                     Keeping the host edge-less (instead of the textbook
+//                     0-weight host edges) avoids register-free cycles
+//                     through the environment, which would make the D
+//                     matrix ill-defined.
+//
+// Edges carry the flip-flop count w(e) >= 0.  A retiming r relabels
+// vertices; the retimed weight is  w_r(e) = w(e) + r(head) - r(tail).
+//
+// Delays are stored in integer deci-picoseconds so that the W/D machinery
+// is exact; the public API speaks double picoseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "tile/tile_grid.h"
+
+namespace lac::retime {
+
+enum class VertexKind : std::uint8_t { kFunctional, kInterconnect, kHost };
+
+// Delay quantum: 0.1 ps.
+constexpr double kDeciPsPerPs = 10.0;
+[[nodiscard]] inline std::int32_t to_decips(double ps) {
+  return static_cast<std::int32_t>(ps * kDeciPsPerPs + 0.5);
+}
+[[nodiscard]] inline double from_decips(std::int64_t dps) {
+  return static_cast<double>(dps) / kDeciPsPerPs;
+}
+
+class RetimingGraph {
+ public:
+  struct Edge {
+    int tail = -1;
+    int head = -1;
+    int w = 0;  // flip-flop count, >= 0
+  };
+
+  RetimingGraph();
+
+  // The host vertex always exists and has index host().
+  [[nodiscard]] int host() const { return 0; }
+
+  int add_vertex(VertexKind kind, double delay_ps, tile::TileId tile);
+  int add_edge(int tail, int head, int w);
+
+  [[nodiscard]] int num_vertices() const {
+    return static_cast<int>(kind_.size());
+  }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] VertexKind kind(int v) const {
+    return kind_.at(static_cast<std::size_t>(v));
+  }
+  [[nodiscard]] std::int32_t delay_decips(int v) const {
+    return delay_.at(static_cast<std::size_t>(v));
+  }
+  [[nodiscard]] double delay_ps(int v) const {
+    return from_decips(delay_decips(v));
+  }
+  [[nodiscard]] tile::TileId tile(int v) const {
+    return tile_.at(static_cast<std::size_t>(v));
+  }
+  [[nodiscard]] const Edge& edge(int e) const {
+    return edges_.at(static_cast<std::size_t>(e));
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<int>& out_edges(int v) const {
+    return out_.at(static_cast<std::size_t>(v));
+  }
+  [[nodiscard]] const std::vector<int>& in_edges(int v) const {
+    return in_.at(static_cast<std::size_t>(v));
+  }
+
+  // I/O vertices (functional units whose label the solvers pin to host's).
+  void mark_io(int v);
+  [[nodiscard]] const std::vector<int>& io_vertices() const { return io_; }
+
+  [[nodiscard]] int num_interconnect_units() const;
+  [[nodiscard]] std::int64_t total_weight() const;  // Σ w(e)
+  [[nodiscard]] std::int64_t total_delay_decips() const;
+
+  // Retimed weight of edge e under labels r.  r[host()] is the reference.
+  [[nodiscard]] std::int64_t retimed_weight(int e,
+                                            const std::vector<int>& r) const {
+    const Edge& ed = edge(e);
+    return static_cast<std::int64_t>(ed.w) + r.at(static_cast<std::size_t>(ed.head)) -
+           r.at(static_cast<std::size_t>(ed.tail));
+  }
+
+  // Legality of a retiming: all retimed weights nonnegative and all I/O
+  // labels equal to the host label.
+  [[nodiscard]] bool is_legal_retiming(const std::vector<int>& r) const;
+
+  // Minimum feasible clock period (ps) of the graph AS IS (no retiming):
+  // the longest register-free path by total vertex delay.  Requires the
+  // register-free subgraph to be acyclic (guaranteed for graphs built from
+  // valid netlists).
+  [[nodiscard]] double period_as_is_ps() const;
+  // Same, after applying retiming r.
+  [[nodiscard]] double period_after_ps(const std::vector<int>& r) const;
+
+ private:
+  std::vector<VertexKind> kind_;
+  std::vector<std::int32_t> delay_;
+  std::vector<tile::TileId> tile_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_, in_;
+  std::vector<int> io_;
+};
+
+}  // namespace lac::retime

@@ -1,0 +1,114 @@
+#include "retime/sharing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "graph/min_cost_flow.h"
+
+namespace lac::retime {
+
+namespace {
+constexpr double kWeightGrid = 1 << 14;
+}  // namespace
+
+std::optional<std::vector<int>> min_area_retiming_shared(
+    const RetimingGraph& g, const WdMatrices& wd, std::int32_t period_decips,
+    const std::vector<double>& area_weight) {
+  const int n = g.num_vertices();
+  LAC_CHECK(static_cast<int>(area_weight.size()) == n);
+
+  // Objective terms: (u, v, w, beta) meaning beta · w_r over the arc
+  // u -> v of weight w.  Single-fanout vertices keep their plain edge;
+  // multi-fanout vertices contribute fanout + mirror terms.
+  struct Term {
+    int u, v, w;
+    double beta;
+  };
+  std::vector<Term> terms;
+  int num_vars = n;
+  for (int v = 0; v < n; ++v) {
+    if (v == g.host()) continue;
+    const auto& fo = g.out_edges(v);
+    if (fo.empty()) continue;
+    LAC_CHECK_MSG(area_weight[static_cast<std::size_t>(v)] > 0.0,
+                  "area weight of vertex " << v << " must be positive");
+    if (fo.size() == 1) {
+      const auto& e = g.edge(fo.front());
+      terms.push_back({v, e.head, e.w, area_weight[static_cast<std::size_t>(v)]});
+      continue;
+    }
+    int w_max = 0;
+    for (const int ei : fo) w_max = std::max(w_max, g.edge(ei).w);
+    const int mirror = num_vars++;
+    const double beta =
+        area_weight[static_cast<std::size_t>(v)] / static_cast<double>(fo.size());
+    for (const int ei : fo) {
+      const auto& e = g.edge(ei);
+      terms.push_back({v, e.head, e.w, beta});
+      terms.push_back({e.head, mirror, w_max - e.w, beta});
+    }
+  }
+
+  // Constraint system: clock + edge + io constraints of the original graph,
+  // plus non-negativity for every mirror arc.
+  ConstraintSet cs = build_constraints(g, wd, period_decips);
+  cs.num_vars = num_vars;
+  for (const Term& t : terms)
+    if (t.v >= n) cs.edge.push_back({t.u, t.v, t.w});
+
+  // Quantised breadths.
+  double max_beta = 0.0;
+  for (const Term& t : terms) max_beta = std::max(max_beta, t.beta);
+  LAC_CHECK(max_beta > 0.0);
+  auto quantise = [&](double b) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(b / max_beta * kWeightGrid)));
+  };
+
+  // Transshipment dual (same derivation as min_area.cc, with per-arc
+  // breadths): minimise Σ b(x)·r(x), b(x) = Σ_in β − Σ_out β.
+  graph::MinCostFlow mcf(num_vars);
+  for (const Term& t : terms) {
+    const std::int64_t bi = quantise(t.beta);
+    mcf.add_supply(t.u, bi);
+    mcf.add_supply(t.v, -bi);
+  }
+  std::int64_t max_c = 1;
+  cs.for_each([&](const Constraint& c) {
+    mcf.add_arc(c.u, c.v, graph::MinCostFlow::kInfCap, c.c);
+    max_c = std::max<std::int64_t>(max_c, std::abs(static_cast<std::int64_t>(c.c)));
+  });
+  const std::int64_t big_k = static_cast<std::int64_t>(num_vars + 1) * (max_c + 1);
+  for (int v = 0; v < num_vars; ++v) {
+    if (v == g.host()) continue;
+    mcf.add_arc(v, g.host(), graph::MinCostFlow::kInfCap, big_k);
+    mcf.add_arc(g.host(), v, graph::MinCostFlow::kInfCap, big_k);
+  }
+
+  const auto sol = mcf.solve();
+  if (!sol) return std::nullopt;
+
+  std::vector<int> r(static_cast<std::size_t>(n));
+  const std::int64_t base = sol->potential[static_cast<std::size_t>(g.host())];
+  for (int v = 0; v < n; ++v)
+    r[static_cast<std::size_t>(v)] =
+        static_cast<int>(base - sol->potential[static_cast<std::size_t>(v)]);
+  LAC_CHECK_MSG(g.is_legal_retiming(r),
+                "sharing-aware flow produced an illegal retiming");
+  return r;
+}
+
+double shared_ff_area(const RetimingGraph& g, const std::vector<int>& r,
+                      const std::vector<double>& area_weight) {
+  double total = 0.0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    std::int64_t w_max = 0;
+    for (const int ei : g.out_edges(v))
+      w_max = std::max(w_max, g.retimed_weight(ei, r));
+    total += static_cast<double>(w_max) * area_weight[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+}  // namespace lac::retime

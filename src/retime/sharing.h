@@ -1,0 +1,48 @@
+// Register-sharing minimum-area retiming (Leiserson–Saxe mirror-vertex
+// model).
+//
+// The per-edge model of min_area.h counts a register once per fanout edge:
+// a vertex whose k fanouts each carry w registers is charged k·w, although
+// hardware would realise max_e w_r(e) registers as one shared chain tapped
+// at different depths.  The classic fix augments the graph with one
+// *mirror vertex* v̂ per multi-fanout vertex v and edges
+//
+//     u_i -> v̂   with weight  ŵ_i = (max_j w_j) − w_i ≥ 0
+//
+// and charges every fanout edge and mirror edge a breadth of A(v)/k.  At a
+// min-cost optimum the mirror labels settle so that the objective equals
+//
+//     Σ_v A(v) · max_{e ∈ FO(v)} w_r(e)               (shared area)
+//
+// plus the unchanged single-fanout terms.  Clock constraints still come
+// from the ORIGINAL graph (mirror vertices have no delay and no physical
+// paths); mirror edges only contribute non-negativity constraints.
+//
+// This is an extension beyond the paper, which uses the per-edge model
+// throughout (its Eqn. (3) sums per edge); bench/sharing_ablation.cpp
+// quantifies the difference on the Table-1 suite.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "retime/constraints.h"
+#include "retime/retiming_graph.h"
+#include "retime/wd_matrices.h"
+
+namespace lac::retime {
+
+// Minimises the shared register area at the given period.  `area_weight`
+// is per original vertex (> 0 except host); pass all-ones for pure
+// register count.  Returns labels for the ORIGINAL graph's vertices
+// (normalised to r[host] = 0), or nullopt when the period is infeasible.
+[[nodiscard]] std::optional<std::vector<int>> min_area_retiming_shared(
+    const RetimingGraph& g, const WdMatrices& wd, std::int32_t period_decips,
+    const std::vector<double>& area_weight);
+
+// Shared register area of a retiming: Σ_v A(v) · max_{e∈FO(v)} w_r(e).
+[[nodiscard]] double shared_ff_area(const RetimingGraph& g,
+                                    const std::vector<int>& r,
+                                    const std::vector<double>& area_weight);
+
+}  // namespace lac::retime

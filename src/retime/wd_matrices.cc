@@ -1,0 +1,114 @@
+#include "retime/wd_matrices.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "base/check.h"
+
+namespace lac::retime {
+
+WdMatrices WdMatrices::compute(const RetimingGraph& g) {
+  const int n = g.num_vertices();
+  // Dense storage is O(n^2) * 8 bytes; refuse sizes that would silently
+  // exhaust memory (50k vertices ~ 20 GB) — callers at that scale should
+  // stream constraints per source instead.
+  LAC_CHECK_MSG(n <= 40000, "graph too large for dense W/D matrices: " << n);
+  WdMatrices out;
+  out.n_ = n;
+  out.w_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                kUnreachable);
+  out.d_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+
+  const std::int64_t big = g.total_delay_decips() + 1;
+
+  // Scalarised edge cost: w*BIG - d(tail).  Negative-cost edges exist
+  // (w = 0), but every cycle carries at least one register so cycle costs
+  // are >= BIG - Σd > 0: no negative cycles.
+  auto cost = [&](int e) {
+    const auto& ed = g.edge(e);
+    return static_cast<std::int64_t>(ed.w) * big -
+           static_cast<std::int64_t>(g.delay_decips(ed.tail));
+  };
+
+  // Bellman–Ford potentials from a virtual source (all vertices at 0).
+  std::vector<std::int64_t> h(static_cast<std::size_t>(n), 0);
+  {
+    std::vector<int> relax_count(static_cast<std::size_t>(n), 0);
+    std::vector<char> in_queue(static_cast<std::size_t>(n), 1);
+    std::deque<int> queue;
+    for (int v = 0; v < n; ++v) queue.push_back(v);
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      in_queue[static_cast<std::size_t>(u)] = 0;
+      for (const int e : g.out_edges(u)) {
+        const int v = g.edge(e).head;
+        const std::int64_t nd = h[static_cast<std::size_t>(u)] + cost(e);
+        if (nd < h[static_cast<std::size_t>(v)]) {
+          h[static_cast<std::size_t>(v)] = nd;
+          LAC_CHECK_MSG(++relax_count[static_cast<std::size_t>(v)] <= n,
+                        "register-free cycle: not a valid sequential circuit");
+          if (!in_queue[static_cast<std::size_t>(v)]) {
+            in_queue[static_cast<std::size_t>(v)] = 1;
+            queue.push_back(v);
+          }
+        }
+      }
+    }
+  }
+
+  // Per-source Dijkstra with reduced costs.
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n));
+  using Item = std::pair<std::int64_t, int>;
+  out.t_init_ = 0;
+  out.max_vertex_delay_ = 0;
+  for (int v = 0; v < n; ++v)
+    out.max_vertex_delay_ =
+        std::max(out.max_vertex_delay_, g.delay_decips(v));
+
+  for (int u = 0; u < n; ++u) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[static_cast<std::size_t>(u)] = 0;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    heap.push({0, u});
+    while (!heap.empty()) {
+      const auto [dd, x] = heap.top();
+      heap.pop();
+      if (dd != dist[static_cast<std::size_t>(x)]) continue;
+      for (const int e : g.out_edges(x)) {
+        const int y = g.edge(e).head;
+        const std::int64_t rc = cost(e) + h[static_cast<std::size_t>(x)] -
+                                h[static_cast<std::size_t>(y)];
+        LAC_CHECK(rc >= 0);
+        const std::int64_t nd = dd + rc;
+        if (nd < dist[static_cast<std::size_t>(y)]) {
+          dist[static_cast<std::size_t>(y)] = nd;
+          heap.push({nd, y});
+        }
+      }
+    }
+    const std::size_t row =
+        static_cast<std::size_t>(u) * static_cast<std::size_t>(n);
+    for (int v = 0; v < n; ++v) {
+      if (dist[static_cast<std::size_t>(v)] >= kInf) continue;
+      // Undo the reweighting to recover the true scalar distance.
+      const std::int64_t true_dist = dist[static_cast<std::size_t>(v)] -
+                                     h[static_cast<std::size_t>(u)] +
+                                     h[static_cast<std::size_t>(v)];
+      // Decode (W, S): dist = W*BIG - S with 0 <= S < BIG.
+      const std::int64_t w64 = (true_dist + big - 1) / big;
+      const std::int64_t s = w64 * big - true_dist;
+      LAC_CHECK(w64 >= 0 && s >= 0 && s < big);
+      const std::int64_t d64 = s + g.delay_decips(v);
+      out.w_[row + static_cast<std::size_t>(v)] = static_cast<std::int32_t>(w64);
+      out.d_[row + static_cast<std::size_t>(v)] = static_cast<std::int32_t>(d64);
+      if (w64 == 0)
+        out.t_init_ = std::max(out.t_init_, static_cast<std::int32_t>(d64));
+    }
+  }
+  return out;
+}
+
+}  // namespace lac::retime

@@ -1,0 +1,209 @@
+#include "route/global_router.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "base/check.h"
+
+namespace lac::route {
+
+GlobalRouter::GlobalRouter(const tile::TileGrid& grid, RouterOptions opt)
+    : grid_(grid), opt_(opt) {
+  const int nh = (grid_.nx() - 1) * grid_.ny();   // horizontal boundaries
+  const int nv = grid_.nx() * (grid_.ny() - 1);   // vertical boundaries
+  usage_.assign(static_cast<std::size_t>(nh + nv), 0.0);
+  history_.assign(static_cast<std::size_t>(nh + nv), 0.0);
+}
+
+int GlobalRouter::edge_index(int cell_a, int cell_b) const {
+  const int nx = grid_.nx();
+  int a = std::min(cell_a, cell_b);
+  int b = std::max(cell_a, cell_b);
+  if (b == a + 1) {
+    // horizontal edge between (gx, gy) and (gx+1, gy), gx = a % nx
+    LAC_CHECK(a % nx != nx - 1);
+    return (a / nx) * (nx - 1) + (a % nx);
+  }
+  LAC_CHECK(b == a + nx);
+  return (nx - 1) * grid_.ny() + a;  // vertical edges after all horizontal
+}
+
+RouteTree GlobalRouter::route_one(const RouteRequest& net) const {
+  const int nx = grid_.nx();
+  const int ny = grid_.ny();
+  const int n_cells = nx * ny;
+  auto idx = [&](const Cell& c) { return c.gy * nx + c.gx; };
+
+  RouteTree tree;
+  // Distinct sink cells, excluding the source cell (colocated sinks need no
+  // global wire).
+  std::vector<Cell> sinks;
+  for (const Cell& s : net.sinks)
+    if (s != net.source &&
+        std::find(sinks.begin(), sinks.end(), s) == sinks.end())
+      sinks.push_back(s);
+  if (sinks.empty()) return tree;
+
+  // parent[cell] = neighbour one step closer to the source along the tree.
+  std::vector<int> parent(static_cast<std::size_t>(n_cells), -2);  // -2: not in tree
+  parent[static_cast<std::size_t>(idx(net.source))] = -1;          // root
+  std::vector<int> tree_cells{idx(net.source)};
+
+  std::vector<double> dist(static_cast<std::size_t>(n_cells));
+  std::vector<int> pred(static_cast<std::size_t>(n_cells));
+  std::vector<char> pending_sink(static_cast<std::size_t>(n_cells), 0);
+  for (const Cell& s : sinks) pending_sink[static_cast<std::size_t>(idx(s))] = 1;
+
+  auto edge_cost = [&](int a, int b) {
+    const int e = edge_index(a, b);
+    const double u = usage_[static_cast<std::size_t>(e)];
+    const double cap = opt_.edge_capacity;
+    double cost = 1.0 + history_[static_cast<std::size_t>(e)];
+    if (u >= cap) {
+      cost += opt_.congestion_weight * (1.0 + (u - cap));
+    } else if (u > 0.5 * cap) {
+      cost += opt_.congestion_weight * (u - 0.5 * cap) / (0.5 * cap);
+    }
+    return cost;
+  };
+
+  int remaining = static_cast<int>(sinks.size());
+  while (remaining > 0) {
+    // Dijkstra from the whole current tree to the nearest pending sink.
+    std::fill(dist.begin(), dist.end(),
+              std::numeric_limits<double>::infinity());
+    std::fill(pred.begin(), pred.end(), -1);
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    for (const int c : tree_cells) {
+      dist[static_cast<std::size_t>(c)] = 0.0;
+      heap.push({0.0, c});
+    }
+    int found = -1;
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d != dist[static_cast<std::size_t>(u)]) continue;
+      if (pending_sink[static_cast<std::size_t>(u)]) {
+        found = u;
+        break;
+      }
+      const int ux = u % nx, uy = u / nx;
+      const int nbr[4] = {ux > 0 ? u - 1 : -1, ux < nx - 1 ? u + 1 : -1,
+                          uy > 0 ? u - nx : -1, uy < ny - 1 ? u + nx : -1};
+      for (const int v : nbr) {
+        if (v < 0) continue;
+        const double nd = d + edge_cost(u, v);
+        if (nd < dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] = nd;
+          pred[static_cast<std::size_t>(v)] = u;
+          heap.push({nd, v});
+        }
+      }
+    }
+    LAC_CHECK_MSG(found != -1, "maze router failed to reach a sink");
+
+    // Splice the new path into the tree (stop where it meets the tree).
+    int v = found;
+    while (parent[static_cast<std::size_t>(v)] == -2) {
+      const int p = pred[static_cast<std::size_t>(v)];
+      LAC_CHECK(p != -1);
+      parent[static_cast<std::size_t>(v)] = p;
+      tree_cells.push_back(v);
+      v = p;
+    }
+    pending_sink[static_cast<std::size_t>(found)] = 0;
+    --remaining;
+  }
+
+  // Emit per-sink source paths (parallel to net.sinks — a sink colocated
+  // with the source gets the trivial single-cell path) and the edge set.
+  tree.sink_paths.reserve(net.sinks.size());
+  for (const Cell& s : net.sinks) {
+    std::vector<Cell> path;
+    for (int v = idx(s); v != -1; v = parent[static_cast<std::size_t>(v)])
+      path.push_back(Cell{v % nx, v / nx});
+    std::reverse(path.begin(), path.end());
+    LAC_CHECK(path.front() == net.source);
+    tree.sink_paths.push_back(std::move(path));
+  }
+  for (const int c : tree_cells) {
+    const int p = parent[static_cast<std::size_t>(c)];
+    if (p >= 0) tree.edges.emplace_back(std::min(c, p), std::max(c, p));
+  }
+  std::sort(tree.edges.begin(), tree.edges.end());
+  tree.edges.erase(std::unique(tree.edges.begin(), tree.edges.end()),
+                   tree.edges.end());
+  return tree;
+}
+
+void GlobalRouter::add_usage(const RouteTree& t, double delta) {
+  for (const auto& [a, b] : t.edges)
+    usage_[static_cast<std::size_t>(edge_index(a, b))] += delta;
+}
+
+std::vector<RouteTree> GlobalRouter::route_all(
+    const std::vector<RouteRequest>& nets) {
+  std::vector<RouteTree> trees(nets.size());
+  // Initial routing, long nets first (they have the least flexibility).
+  std::vector<std::size_t> order(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    auto span = [&](const RouteRequest& n) {
+      Coord s = 0;
+      for (const Cell& c : n.sinks)
+        s += std::abs(c.gx - n.source.gx) + std::abs(c.gy - n.source.gy);
+      return s;
+    };
+    return span(nets[a]) > span(nets[b]);
+  });
+  for (const std::size_t i : order) {
+    trees[i] = route_one(nets[i]);
+    add_usage(trees[i], 1.0);
+  }
+
+  // Rip-up & re-route rounds over nets that touch overflowed edges.
+  for (int round = 0; round < opt_.ripup_rounds; ++round) {
+    std::vector<char> overflowed(usage_.size(), 0);
+    int n_over = 0;
+    for (std::size_t e = 0; e < usage_.size(); ++e) {
+      if (usage_[e] > opt_.edge_capacity) {
+        overflowed[e] = 1;
+        ++n_over;
+        history_[e] += opt_.history_weight;
+      }
+    }
+    if (n_over == 0) break;
+    stats_.ripup_rounds_used = round + 1;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      if (!trees[i].routed()) continue;
+      bool touches = false;
+      for (const auto& [a, b] : trees[i].edges)
+        if (overflowed[static_cast<std::size_t>(edge_index(a, b))]) {
+          touches = true;
+          break;
+        }
+      if (!touches) continue;
+      add_usage(trees[i], -1.0);
+      trees[i] = route_one(nets[i]);
+      add_usage(trees[i], 1.0);
+    }
+  }
+
+  // Final statistics.
+  stats_.total_wirelength_um = 0.0;
+  stats_.overflowed_edges = 0;
+  stats_.max_usage = 0.0;
+  for (const auto& t : trees)
+    stats_.total_wirelength_um +=
+        static_cast<double>(t.edges.size()) *
+        static_cast<double>(grid_.tile_size());
+  for (const double u : usage_) {
+    stats_.max_usage = std::max(stats_.max_usage, u);
+    if (u > opt_.edge_capacity) ++stats_.overflowed_edges;
+  }
+  return trees;
+}
+
+}  // namespace lac::route

@@ -1,0 +1,79 @@
+// Congestion-aware global routing over the tile grid (paper §4.1).
+//
+// Each inter-block net is routed as a rectilinear Steiner tree on the
+// physical cell grid: sinks are connected one at a time (nearest first) by
+// a Dijkstra wavefront expanded from the *whole* current tree, which is the
+// classic iterated closest-component construction (cf. Ho–Vijayan–Wong).
+// Edge costs combine wirelength with a congestion penalty, and a few
+// rip-up-and-re-route rounds with history costs (negotiated-congestion
+// flavour) clean up overflowed edges.  Wirelength first, congestion second
+// — exactly the priorities the paper states for this step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tile/tile_grid.h"
+
+namespace lac::route {
+
+struct Cell {
+  int gx = 0;
+  int gy = 0;
+  friend constexpr auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+struct RouteRequest {
+  Cell source;
+  std::vector<Cell> sinks;
+};
+
+struct RouteTree {
+  // sink_paths[i] = cell sequence source .. sinks[i] (inclusive), following
+  // tree edges; consecutive cells are 4-neighbours.
+  std::vector<std::vector<Cell>> sink_paths;
+  // Distinct tree edges, as (cell, cell) with the lower cell index first.
+  std::vector<std::pair<int, int>> edges;
+  [[nodiscard]] bool routed() const { return !sink_paths.empty(); }
+};
+
+struct RouterOptions {
+  double edge_capacity = 16.0;     // global tracks per cell boundary
+  double congestion_weight = 2.0;  // cost multiplier once usage nears capacity
+  double history_weight = 1.5;     // negotiated-congestion history increment
+  int ripup_rounds = 3;
+};
+
+struct RoutingStats {
+  double total_wirelength_um = 0.0;  // sum over nets of tree edge length
+  int overflowed_edges = 0;          // edges with usage > capacity (final)
+  double max_usage = 0.0;
+  int ripup_rounds_used = 0;
+};
+
+class GlobalRouter {
+ public:
+  GlobalRouter(const tile::TileGrid& grid, RouterOptions opt = {});
+
+  // Routes all nets; result[i] corresponds to nets[i].  Sinks equal to the
+  // source are dropped; a net whose sinks all coincide with the source gets
+  // an empty tree with routed() == false.
+  [[nodiscard]] std::vector<RouteTree> route_all(
+      const std::vector<RouteRequest>& nets);
+
+  [[nodiscard]] const RoutingStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] RouteTree route_one(const RouteRequest& net) const;
+  void add_usage(const RouteTree& t, double delta);
+  [[nodiscard]] int edge_index(int cell_a, int cell_b) const;
+
+  const tile::TileGrid& grid_;
+  RouterOptions opt_;
+  // Edge arrays: horizontal edges (between (gx,gy)-(gx+1,gy)) then vertical.
+  std::vector<double> usage_;
+  std::vector<double> history_;
+  RoutingStats stats_;
+};
+
+}  // namespace lac::route

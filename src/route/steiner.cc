@@ -1,0 +1,172 @@
+#include "route/steiner.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "base/check.h"
+
+namespace lac::route {
+
+namespace {
+
+// Overlap length between a candidate axis-aligned segment and a set of
+// already-placed segments (collinear spans only).
+Coord overlap_with(const std::vector<std::pair<Point, Point>>& placed,
+                   Point a, Point b) {
+  Coord total = 0;
+  if (a.y == b.y) {  // horizontal
+    const Coord lo = std::min(a.x, b.x), hi = std::max(a.x, b.x);
+    for (const auto& [p, q] : placed) {
+      if (p.y != q.y || p.y != a.y) continue;
+      const Coord l = std::max(lo, std::min(p.x, q.x));
+      const Coord h = std::min(hi, std::max(p.x, q.x));
+      if (h > l) total += h - l;
+    }
+  } else {  // vertical
+    const Coord lo = std::min(a.y, b.y), hi = std::max(a.y, b.y);
+    for (const auto& [p, q] : placed) {
+      if (p.x != q.x || p.x != a.x) continue;
+      const Coord l = std::max(lo, std::min(p.y, q.y));
+      const Coord h = std::min(hi, std::max(p.y, q.y));
+      if (h > l) total += h - l;
+    }
+  }
+  return total;
+}
+
+void add_segment(std::vector<std::pair<Point, Point>>& segs, Point a, Point b) {
+  if (a == b) return;
+  if (a.y == b.y && a.x > b.x) std::swap(a, b);
+  if (a.x == b.x && a.y > b.y) std::swap(a, b);
+  segs.emplace_back(a, b);
+}
+
+// Merge collinear overlapping segments so length() counts wire once.
+std::vector<std::pair<Point, Point>> merge_segments(
+    std::vector<std::pair<Point, Point>> segs) {
+  std::vector<std::pair<Point, Point>> out;
+  // Horizontal per row.
+  std::map<Coord, std::vector<std::pair<Coord, Coord>>> rows, cols;
+  for (const auto& [a, b] : segs) {
+    if (a.y == b.y)
+      rows[a.y].emplace_back(std::min(a.x, b.x), std::max(a.x, b.x));
+    else
+      cols[a.x].emplace_back(std::min(a.y, b.y), std::max(a.y, b.y));
+  }
+  auto merge_line = [](std::vector<std::pair<Coord, Coord>>& iv) {
+    std::sort(iv.begin(), iv.end());
+    std::vector<std::pair<Coord, Coord>> merged;
+    for (const auto& [lo, hi] : iv) {
+      if (!merged.empty() && lo <= merged.back().second)
+        merged.back().second = std::max(merged.back().second, hi);
+      else
+        merged.emplace_back(lo, hi);
+    }
+    return merged;
+  };
+  for (auto& [y, iv] : rows)
+    for (const auto& [lo, hi] : merge_line(iv))
+      out.emplace_back(Point{lo, y}, Point{hi, y});
+  for (auto& [x, iv] : cols)
+    for (const auto& [lo, hi] : merge_line(iv))
+      out.emplace_back(Point{x, lo}, Point{x, hi});
+  return out;
+}
+
+// Prim RMST: returns edges as index pairs.
+std::vector<std::pair<int, int>> prim_mst(const std::vector<Point>& pts) {
+  const int n = static_cast<int>(pts.size());
+  std::vector<std::pair<int, int>> edges;
+  if (n <= 1) return edges;
+  std::vector<char> in_tree(static_cast<std::size_t>(n), 0);
+  std::vector<Coord> best(static_cast<std::size_t>(n),
+                          std::numeric_limits<Coord>::max());
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  in_tree[0] = 1;
+  for (int v = 1; v < n; ++v) {
+    best[static_cast<std::size_t>(v)] = manhattan(pts[0], pts[static_cast<std::size_t>(v)]);
+    parent[static_cast<std::size_t>(v)] = 0;
+  }
+  for (int step = 1; step < n; ++step) {
+    int pick = -1;
+    for (int v = 0; v < n; ++v)
+      if (!in_tree[static_cast<std::size_t>(v)] &&
+          (pick == -1 ||
+           best[static_cast<std::size_t>(v)] < best[static_cast<std::size_t>(pick)]))
+        pick = v;
+    LAC_CHECK(pick != -1);
+    in_tree[static_cast<std::size_t>(pick)] = 1;
+    edges.emplace_back(parent[static_cast<std::size_t>(pick)], pick);
+    for (int v = 0; v < n; ++v) {
+      if (in_tree[static_cast<std::size_t>(v)]) continue;
+      const Coord d =
+          manhattan(pts[static_cast<std::size_t>(pick)], pts[static_cast<std::size_t>(v)]);
+      if (d < best[static_cast<std::size_t>(v)]) {
+        best[static_cast<std::size_t>(v)] = d;
+        parent[static_cast<std::size_t>(v)] = pick;
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+Coord SteinerTree::length() const {
+  Coord total = 0;
+  for (const auto& [a, b] : segments) total += manhattan(a, b);
+  return total;
+}
+
+Coord rmst_length(const std::vector<Point>& terminals) {
+  std::vector<Point> pts = terminals;
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  Coord total = 0;
+  for (const auto& [a, b] : prim_mst(pts))
+    total += manhattan(pts[static_cast<std::size_t>(a)],
+                       pts[static_cast<std::size_t>(b)]);
+  return total;
+}
+
+Coord hpwl(const std::vector<Point>& terminals) {
+  if (terminals.empty()) return 0;
+  Coord xlo = terminals[0].x, xhi = terminals[0].x;
+  Coord ylo = terminals[0].y, yhi = terminals[0].y;
+  for (const auto& p : terminals) {
+    xlo = std::min(xlo, p.x);
+    xhi = std::max(xhi, p.x);
+    ylo = std::min(ylo, p.y);
+    yhi = std::max(yhi, p.y);
+  }
+  return (xhi - xlo) + (yhi - ylo);
+}
+
+SteinerTree rectilinear_steiner(std::vector<Point> terminals) {
+  SteinerTree tree;
+  std::sort(terminals.begin(), terminals.end());
+  terminals.erase(std::unique(terminals.begin(), terminals.end()),
+                  terminals.end());
+  tree.terminals = terminals;
+  if (terminals.size() <= 1) return tree;
+
+  std::vector<std::pair<Point, Point>> segs;
+  for (const auto& [ia, ib] : prim_mst(terminals)) {
+    const Point a = terminals[static_cast<std::size_t>(ia)];
+    const Point b = terminals[static_cast<std::size_t>(ib)];
+    // Two L embeddings via the two corner choices; pick the one that
+    // overlaps existing wire the most (ties: first).
+    const Point c1{b.x, a.y};
+    const Point c2{a.x, b.y};
+    const Coord ov1 = overlap_with(segs, a, c1) + overlap_with(segs, c1, b);
+    const Coord ov2 = overlap_with(segs, a, c2) + overlap_with(segs, c2, b);
+    const Point corner = ov1 >= ov2 ? c1 : c2;
+    add_segment(segs, a, corner);
+    add_segment(segs, corner, b);
+  }
+  tree.segments = merge_segments(std::move(segs));
+  return tree;
+}
+
+}  // namespace lac::route

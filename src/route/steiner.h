@@ -1,0 +1,46 @@
+// Standalone rectilinear Steiner tree construction.
+//
+// The planner's global router (global_router.h) builds congestion-aware
+// trees on the tile grid by maze expansion; this module provides the
+// geometric counterpart used for fast wirelength estimation (e.g. when
+// sizing channels before any routing exists): a classic MST-based
+// rectilinear Steiner heuristic in the spirit of Ho–Vijayan–Wong [5] —
+// build the rectilinear minimum spanning tree, then embed each tree edge
+// as an L whose orientation maximises overlap with already-embedded
+// segments, which introduces Steiner points for free.
+//
+// Quality: never worse than the RMST (overlap can only help), hence within
+// 1.5x of the rectilinear Steiner minimum; typically 8–12% better than the
+// RMST on random instances (see tests).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "base/geometry.h"
+
+namespace lac::route {
+
+struct SteinerTree {
+  std::vector<Point> terminals;
+  // Axis-aligned segments (lo <= hi on the varying axis); overlapping
+  // collinear spans have been merged, so summing lengths counts shared
+  // trunk wire once.
+  std::vector<std::pair<Point, Point>> segments;
+
+  [[nodiscard]] Coord length() const;
+};
+
+// Builds a tree over the distinct terminals.  A single terminal yields an
+// empty segment set.
+[[nodiscard]] SteinerTree rectilinear_steiner(std::vector<Point> terminals);
+
+// Length of the rectilinear minimum spanning tree (Prim), the baseline the
+// Steiner construction improves on.
+[[nodiscard]] Coord rmst_length(const std::vector<Point>& terminals);
+
+// Half-perimeter wirelength of the terminals' bounding box — a lower bound
+// for any connecting tree.
+[[nodiscard]] Coord hpwl(const std::vector<Point>& terminals);
+
+}  // namespace lac::route

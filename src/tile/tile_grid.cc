@@ -1,0 +1,126 @@
+#include "tile/tile_grid.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/check.h"
+
+namespace lac::tile {
+
+TileGrid::TileGrid(const floorplan::Floorplan& fp,
+                   const std::vector<double>& block_used_area,
+                   const TileGridOptions& opt)
+    : opt_(opt), chip_(fp.chip) {
+  LAC_CHECK(opt.tile_size > 0);
+  LAC_CHECK(static_cast<int>(block_used_area.size()) == fp.num_blocks());
+  nx_ = std::max<int>(1, static_cast<int>((chip_.width() + opt.tile_size - 1) /
+                                          opt.tile_size));
+  ny_ = std::max<int>(1, static_cast<int>((chip_.height() + opt.tile_size - 1) /
+                                          opt.tile_size));
+  cell_tile_.assign(static_cast<std::size_t>(num_cells()), TileId::invalid());
+
+  const double cell_area = static_cast<double>(opt.tile_size) *
+                           static_cast<double>(opt.tile_size);
+
+  // One merged logical tile per soft block, created lazily.
+  std::unordered_map<int, TileId> soft_tile_of_block;
+
+  for (int gy = 0; gy < ny_; ++gy) {
+    for (int gx = 0; gx < nx_; ++gx) {
+      const Point c = cell_center(gx, gy);
+      const floorplan::BlockId b = fp.block_at(c);
+      TileId t;
+      if (!b.valid()) {
+        t = TileId{static_cast<TileId::value_type>(kind_.size())};
+        kind_.push_back(TileKind::kChannel);
+        capacity_.push_back(cell_area * opt.channel_utilization);
+        block_.push_back(floorplan::BlockId::invalid());
+      } else if (fp.blocks[b.index()].hard) {
+        t = TileId{static_cast<TileId::value_type>(kind_.size())};
+        kind_.push_back(TileKind::kHardBlock);
+        capacity_.push_back(opt.hard_sites_per_cell * opt.site_area);
+        block_.push_back(b);
+      } else {
+        const auto it = soft_tile_of_block.find(b.value());
+        if (it != soft_tile_of_block.end()) {
+          t = it->second;
+        } else {
+          t = TileId{static_cast<TileId::value_type>(kind_.size())};
+          kind_.push_back(TileKind::kSoftBlock);
+          const double block_area = fp.placement[b.index()].area();
+          capacity_.push_back(
+              std::max(0.0, block_area - block_used_area[b.index()]));
+          block_.push_back(b);
+          soft_tile_of_block.emplace(b.value(), t);
+        }
+      }
+      cell_tile_[static_cast<std::size_t>(cell_index(gx, gy))] = t;
+    }
+  }
+  total_capacity_ = capacity_;
+}
+
+Point TileGrid::cell_center(int gx, int gy) const {
+  LAC_CHECK(gx >= 0 && gx < nx_ && gy >= 0 && gy < ny_);
+  return Point{chip_.lo.x + gx * opt_.tile_size + opt_.tile_size / 2,
+               chip_.lo.y + gy * opt_.tile_size + opt_.tile_size / 2};
+}
+
+std::pair<int, int> TileGrid::cell_of_point(const Point& p) const {
+  int gx = static_cast<int>((p.x - chip_.lo.x) / opt_.tile_size);
+  int gy = static_cast<int>((p.y - chip_.lo.y) / opt_.tile_size);
+  gx = std::clamp(gx, 0, nx_ - 1);
+  gy = std::clamp(gy, 0, ny_ - 1);
+  return {gx, gy};
+}
+
+TileId TileGrid::tile_of_cell(int gx, int gy) const {
+  return cell_tile_.at(static_cast<std::size_t>(cell_index(gx, gy)));
+}
+
+TileId TileGrid::tile_at(const Point& p) const {
+  const auto [gx, gy] = cell_of_point(p);
+  return tile_of_cell(gx, gy);
+}
+
+void TileGrid::consume(TileId t, double area) {
+  LAC_CHECK(t.valid() && t.index() < capacity_.size());
+  LAC_CHECK(area >= 0.0);
+  capacity_[t.index()] -= area;
+}
+
+double TileGrid::total_channel_capacity() const {
+  double sum = 0.0;
+  for (int t = 0; t < num_tiles(); ++t)
+    if (kind_[static_cast<std::size_t>(t)] == TileKind::kChannel)
+      sum += capacity_[static_cast<std::size_t>(t)];
+  return sum;
+}
+
+int TileGrid::num_soft_tiles() const {
+  int n = 0;
+  for (const TileKind k : kind_) n += (k == TileKind::kSoftBlock);
+  return n;
+}
+
+std::string TileGrid::render_ascii() const {
+  // '.' channel/dead, '#' hard block, letters for soft blocks.
+  std::ostringstream os;
+  for (int gy = ny_ - 1; gy >= 0; --gy) {
+    for (int gx = 0; gx < nx_; ++gx) {
+      const TileId t = tile_of_cell(gx, gy);
+      switch (kind(t)) {
+        case TileKind::kChannel: os << '.'; break;
+        case TileKind::kHardBlock: os << '#'; break;
+        case TileKind::kSoftBlock:
+          os << static_cast<char>('a' + block(t).value() % 26);
+          break;
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lac::tile

@@ -1,0 +1,102 @@
+// Tile graph for LAC-retiming (paper §4, Figure 2).
+//
+// The chip is divided into a uniform grid of physical cells.  Each cell is
+// classified by what the floorplan puts under its centre:
+//   * channel / dead area  — high capacity for repeater & flip-flop insertion;
+//   * hard block           — capacity only from pre-located sites (Alpert's
+//                            buffer/FF sites), typically very small;
+//   * soft block           — all cells of one soft block are MERGED into a
+//                            single logical tile whose capacity is the block
+//                            area minus the area its functional units use
+//                            (the block's internal placement is not yet
+//                            fixed, so only the total matters).
+//
+// "Tile" in the rest of the library always means a *logical* tile: a
+// channel cell, a hard-block cell, or a merged soft block.  The physical
+// grid is still exposed for the global router, whose routing graph is the
+// cell adjacency.
+#pragma once
+
+#include <vector>
+
+#include "base/geometry.h"
+#include "base/ids.h"
+#include "floorplan/floorplanner.h"
+
+namespace lac::tile {
+
+struct TileTag {};
+using TileId = Id<TileTag>;
+
+enum class TileKind { kChannel, kHardBlock, kSoftBlock };
+
+struct TileGridOptions {
+  Coord tile_size = 250;            // µm, physical cell pitch
+  double channel_utilization = 0.7; // usable fraction of a channel cell
+  int hard_sites_per_cell = 2;      // pre-located repeater/FF sites
+  double site_area = 400.0;         // µm² per site (≈ one DFF)
+};
+
+class TileGrid {
+ public:
+  // `block_used_area[b]` = total functional-unit area assigned to block b;
+  // determines the residual capacity of soft-block tiles.
+  TileGrid(const floorplan::Floorplan& fp,
+           const std::vector<double>& block_used_area,
+           const TileGridOptions& opt = {});
+
+  // --- physical grid (router view) ----------------------------------------
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int num_cells() const { return nx_ * ny_; }
+  [[nodiscard]] int cell_index(int gx, int gy) const { return gy * nx_ + gx; }
+  [[nodiscard]] Point cell_center(int gx, int gy) const;
+  [[nodiscard]] std::pair<int, int> cell_of_point(const Point& p) const;
+  [[nodiscard]] TileId tile_of_cell(int gx, int gy) const;
+  [[nodiscard]] Coord tile_size() const { return opt_.tile_size; }
+
+  // --- logical tiles (retiming view) ---------------------------------------
+  [[nodiscard]] int num_tiles() const {
+    return static_cast<int>(kind_.size());
+  }
+  [[nodiscard]] TileKind kind(TileId t) const { return kind_.at(t.index()); }
+  // Remaining insertion capacity (µm²) after all consume() calls so far.
+  [[nodiscard]] double capacity(TileId t) const {
+    return capacity_.at(t.index());
+  }
+  [[nodiscard]] double total_capacity(TileId t) const {
+    return total_capacity_.at(t.index());
+  }
+  // Owning floorplan block for block tiles; invalid for channel tiles.
+  [[nodiscard]] floorplan::BlockId block(TileId t) const {
+    return block_.at(t.index());
+  }
+  [[nodiscard]] TileId tile_at(const Point& p) const;
+
+  // Permanently consumes `area` µm² in tile t (repeater insertion happens
+  // before retiming; the paper's C(t) is the capacity *after* repeaters).
+  // Capacity can go negative: the caller is responsible for avoiding or
+  // reporting overfull tiles.
+  void consume(TileId t, double area);
+
+  // Aggregates for reporting.
+  [[nodiscard]] double total_channel_capacity() const;
+  [[nodiscard]] int num_soft_tiles() const;
+
+  // ASCII rendering of the tile classification (examples/tilegraph_demo).
+  [[nodiscard]] std::string render_ascii() const;
+
+ private:
+  TileGridOptions opt_;
+  Rect chip_;
+  int nx_ = 0, ny_ = 0;
+  // Per physical cell: logical tile id.
+  std::vector<TileId> cell_tile_;
+  // Per logical tile:
+  std::vector<TileKind> kind_;
+  std::vector<double> capacity_;
+  std::vector<double> total_capacity_;
+  std::vector<floorplan::BlockId> block_;
+};
+
+}  // namespace lac::tile

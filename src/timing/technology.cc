@@ -1,0 +1,30 @@
+#include "timing/technology.h"
+
+#include "base/check.h"
+
+namespace lac::timing {
+
+namespace {
+// Ω · fF = 1e-15 s · 1e+3 = 1e-3 ps.
+constexpr double kOhmFemtofaradToPs = 1e-3;
+}  // namespace
+
+double wire_elmore_delay(const Technology& t, double rd, double len,
+                         double cl) {
+  LAC_CHECK(len >= 0.0);
+  const double cwire = t.wire_cap_per_um * len;
+  const double rwire = t.wire_res_per_um * len;
+  return kOhmFemtofaradToPs * (rd * (cwire + cl) + rwire * (cwire / 2.0 + cl));
+}
+
+double repeater_stage_delay(const Technology& t, double len, double load_cap) {
+  return t.repeater_intrinsic_delay +
+         wire_elmore_delay(t, t.repeater_out_res, len, load_cap);
+}
+
+double unbuffered_wire_delay(const Technology& t, double rd, double len,
+                             double cl) {
+  return wire_elmore_delay(t, rd, len, cl);
+}
+
+}  // namespace lac::timing

@@ -1,0 +1,60 @@
+// Technology parameters and Elmore delay models.
+//
+// The paper's experiments predate published technology numbers, so we use a
+// self-consistent deep-submicron-flavoured parameter set (see
+// `Technology::paper_default()`), chosen so that — as the paper's premise
+// requires — a cross-chip global wire costs several clock cycles while a
+// gate costs a small fraction of one.  All delays are in picoseconds,
+// lengths in database units (1 unit = 1 µm), capacitance in fF, resistance
+// in Ω (R·C with these units gives femtoseconds·10³ = picoseconds when we
+// scale by 1e-3; the helpers below fold the scaling in).
+#pragma once
+
+namespace lac::timing {
+
+struct Technology {
+  // Wire parasitics per µm.
+  double wire_res_per_um = 0.08;   // Ω/µm
+  double wire_cap_per_um = 0.20;   // fF/µm
+
+  // Repeater (buffer) characteristics.
+  double repeater_out_res = 180.0;       // Ω
+  double repeater_in_cap = 10.0;         // fF
+  double repeater_intrinsic_delay = 15.0;  // ps
+
+  // Functional units.  The paper treats every ISCAS89 gate as an RT-level
+  // functional unit with a large fixed delay and area.
+  double gate_delay = 60.0;    // ps
+  double gate_in_cap = 8.0;    // fF, load seen by an interconnect's last stage
+  double gate_out_res = 250.0; // Ω, drive of the first wire segment
+  double dff_delay = 25.0;     // ps, clk->q (+ setup folded in)
+
+  // Area model (µm²).
+  double gate_area = 10000.0;
+  double dff_area = 2500.0;
+  double repeater_area = 800.0;
+
+  // Maximum interval between consecutive repeaters (signal-integrity bound
+  // L_max in the paper), in µm.
+  double max_repeater_interval = 2000.0;
+
+  [[nodiscard]] static Technology paper_default() { return {}; }
+};
+
+// Elmore delay (ps) of a uniform wire of length `len` µm driven by a source
+// with output resistance `rd` Ω into a lumped far-end load `cl` fF:
+//   d = rd (c·len + cl) + r·len (c·len/2 + cl)        [Ω·fF = 1e-3 ps]
+[[nodiscard]] double wire_elmore_delay(const Technology& t, double rd,
+                                       double len, double cl);
+
+// Delay (ps) of one repeater stage: intrinsic delay plus Elmore delay of a
+// `len` µm segment into `load_cap` fF.
+[[nodiscard]] double repeater_stage_delay(const Technology& t, double len,
+                                          double load_cap);
+
+// Convenience: total delay of an optimally *unbuffered* wire (for
+// comparisons in examples/benches).
+[[nodiscard]] double unbuffered_wire_delay(const Technology& t, double rd,
+                                           double len, double cl);
+
+}  // namespace lac::timing

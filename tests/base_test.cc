@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "base/geometry.h"
+#include "base/ids.h"
+#include "base/rng.h"
+#include "base/str_util.h"
+#include "base/table.h"
+
+namespace lac {
+namespace {
+
+struct FooTag {};
+using FooId = Id<FooTag>;
+
+TEST(Ids, DefaultIsInvalid) {
+  FooId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, FooId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  FooId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42);
+  EXPECT_EQ(id.index(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(FooId{1}, FooId{2});
+  EXPECT_EQ(FooId{3}, FooId{3});
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<FooId> s{FooId{1}, FooId{2}, FooId{1}};
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Ids, Streaming) {
+  std::ostringstream os;
+  os << FooId{7} << ' ' << FooId{};
+  EXPECT_EQ(os.str(), "7 <invalid>");
+}
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(LAC_CHECK(1 == 2), CheckError);
+  try {
+    LAC_CHECK_MSG(false, "ctx " << 99);
+    FAIL();
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 99"), std::string::npos);
+  }
+}
+
+TEST(Geometry, Manhattan) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {2, 5}), 4);
+}
+
+TEST(Geometry, RectBasics) {
+  Rect r{{0, 0}, {10, 5}};
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_DOUBLE_EQ(r.area(), 50.0);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.center(), (Point{5, 2}));
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 5}));
+  EXPECT_FALSE(r.contains({11, 5}));
+}
+
+TEST(Geometry, OverlapIsInteriorOnly) {
+  Rect a{{0, 0}, {10, 10}};
+  Rect b{{10, 0}, {20, 10}};  // abutting
+  EXPECT_FALSE(a.overlaps(b));
+  Rect c{{9, 9}, {12, 12}};
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(a));
+}
+
+TEST(Geometry, IntersectAndUnion) {
+  Rect a{{0, 0}, {10, 10}};
+  Rect b{{5, 5}, {20, 8}};
+  const Rect i = a.intersect(b);
+  EXPECT_EQ(i, (Rect{{5, 5}, {10, 8}}));
+  const Rect u = a.bounding_union(b);
+  EXPECT_EQ(u, (Rect{{0, 0}, {20, 10}}));
+  Rect empty{{5, 5}, {4, 4}};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.bounding_union(a), a);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a(), b());
+  Rng a2(123);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const double d = rng.uniform_real();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(StrUtil, Split) {
+  const auto parts = split("a, b,,c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(split("", ",").empty());
+}
+
+TEST(StrUtil, CaseInsensitiveEquals) {
+  EXPECT_TRUE(iequals("DFF", "dff"));
+  EXPECT_TRUE(iequals("NaNd", "NAND"));
+  EXPECT_FALSE(iequals("NAND", "NAN"));
+  EXPECT_FALSE(iequals("NAND", "NOR "));
+}
+
+TEST(StrUtil, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t({"name", "x"});
+  t.add_row({"a", "1"});
+  t.add_row({"bbbb", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name | x  |"), std::string::npos);
+  EXPECT_NE(s.find("| bbbb | 22 |"), std::string::npos);
+}
+
+TEST(Table, RejectsBadRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+}  // namespace
+}  // namespace lac

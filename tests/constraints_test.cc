@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "graph/diff_constraints.h"
+#include "retime/constraints.h"
+#include "retime/wd_matrices.h"
+#include "tests/test_util.h"
+
+namespace lac::retime {
+namespace {
+
+TEST(Constraints, EdgeConstraintsOnePerEdge) {
+  const auto g = test::correlator_graph();
+  const auto wd = WdMatrices::compute(g);
+  const auto cs = build_constraints(g, wd, to_decips(100.0));
+  EXPECT_EQ(cs.edge.size(), static_cast<std::size_t>(g.num_edges()));
+  EXPECT_TRUE(cs.clock.empty());  // period is huge
+}
+
+TEST(Constraints, ClockConstraintsAppearBelowTInit) {
+  const auto g = test::correlator_graph();
+  const auto wd = WdMatrices::compute(g);
+  const auto cs = build_constraints(g, wd, to_decips(9.0));
+  EXPECT_GT(cs.clock.size(), 0u);
+  for (const auto& c : cs.clock) {
+    EXPECT_GT(wd.d_ps(c.u, c.v), 9.0);
+    EXPECT_EQ(c.c, wd.w(c.u, c.v) - 1);
+  }
+}
+
+TEST(Constraints, IoPinningPairs) {
+  RetimingGraph g;
+  const auto t = tile::TileId::invalid();
+  const int a = g.add_vertex(VertexKind::kFunctional, 1.0, t);
+  const int b = g.add_vertex(VertexKind::kFunctional, 1.0, t);
+  g.add_edge(a, b, 1);
+  g.mark_io(a);
+  g.mark_io(b);
+  const auto wd = WdMatrices::compute(g);
+  const auto cs = build_constraints(g, wd, to_decips(10.0));
+  EXPECT_EQ(cs.io.size(), 4u);  // two inequalities per pinned vertex
+}
+
+TEST(Constraints, PruningPreservesFeasibilityExactly) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto g = test::random_retiming_graph(rng, 5 + static_cast<int>(rng.uniform(6)),
+                                         static_cast<int>(rng.uniform(12)));
+    const auto wd = WdMatrices::compute(g);
+    const auto lo = wd.max_vertex_delay_decips();
+    const auto hi = to_decips(wd.t_init_ps());
+    for (std::int32_t T : {lo, (lo + hi) / 2, hi}) {
+      const auto pruned = build_constraints(g, wd, T, {.prune = true});
+      const auto full = build_constraints(g, wd, T, {.prune = false});
+      EXPECT_LE(pruned.clock.size(), full.clock.size());
+      graph::DiffConstraints dp(pruned.num_vars);
+      pruned.for_each([&](const Constraint& c) { dp.add(c.u, c.v, c.c); });
+      graph::DiffConstraints df(full.num_vars);
+      full.for_each([&](const Constraint& c) { df.add(c.u, c.v, c.c); });
+      EXPECT_EQ(dp.feasible(), df.feasible()) << "T=" << T;
+      // Stronger: any solution of the pruned system satisfies the full one.
+      const auto sol = dp.solve();
+      if (sol) {
+        for (const auto& c : full.clock)
+          EXPECT_LE((*sol)[static_cast<std::size_t>(c.u)] -
+                        (*sol)[static_cast<std::size_t>(c.v)],
+                    c.c)
+              << "pruning dropped a non-redundant constraint";
+      }
+    }
+  }
+}
+
+TEST(Constraints, PruningShrinksLargeSystems) {
+  Rng rng(4242);
+  auto g = test::random_retiming_graph(rng, 40, 60);
+  const auto wd = WdMatrices::compute(g);
+  const auto mid = (wd.max_vertex_delay_decips() + to_decips(wd.t_init_ps())) / 2;
+  const auto cs = build_constraints(g, wd, mid);
+  EXPECT_LT(cs.clock.size(), cs.clock_before_pruning);
+}
+
+TEST(MinPeriod, CorrelatorOptimum) {
+  const auto g = test::correlator_graph();
+  const auto wd = WdMatrices::compute(g);
+  std::vector<int> r;
+  const double t = min_period_retiming(g, wd, &r);
+  EXPECT_DOUBLE_EQ(t, 7.0);  // the big vertex alone
+  EXPECT_TRUE(g.is_legal_retiming(r));
+  EXPECT_LE(g.period_after_ps(r), 7.0 + 1e-9);
+}
+
+TEST(MinPeriod, NeverAboveTInitNorBelowMaxDelay) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto g = test::random_retiming_graph(rng, 4 + static_cast<int>(rng.uniform(6)),
+                                         static_cast<int>(rng.uniform(10)));
+    const auto wd = WdMatrices::compute(g);
+    std::vector<int> r;
+    const double t = min_period_retiming(g, wd, &r);
+    EXPECT_LE(t, wd.t_init_ps() + 1e-9);
+    EXPECT_GE(t, from_decips(wd.max_vertex_delay_decips()) - 1e-9);
+    EXPECT_LE(g.period_after_ps(r), t + 1e-9);
+  }
+}
+
+TEST(MinPeriod, MatchesBruteForceOnTinyGraphs) {
+  Rng rng(21);
+  for (int trial = 0; trial < 12; ++trial) {
+    auto g = test::random_retiming_graph(rng, 4, 4, /*max_w=*/1);
+    const auto wd = WdMatrices::compute(g);
+    const double flow_t = min_period_retiming(g, wd);
+    const double brute_t = test::brute_force_min_period(g, /*bound=*/3);
+    EXPECT_NEAR(flow_t, brute_t, 0.11) << "trial " << trial;
+  }
+}
+
+TEST(MinPeriod, FeasibilityMonotoneInT) {
+  Rng rng(100);
+  auto g = test::random_retiming_graph(rng, 8, 12);
+  const auto wd = WdMatrices::compute(g);
+  const double tmin = min_period_retiming(g, wd);
+  EXPECT_FALSE(period_feasible(g, wd, to_decips(tmin) - 1));
+  EXPECT_TRUE(period_feasible(g, wd, to_decips(tmin)));
+  EXPECT_TRUE(period_feasible(g, wd, to_decips(tmin) + 37));
+}
+
+}  // namespace
+}  // namespace lac::retime

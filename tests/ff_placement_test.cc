@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplanner.h"
+#include "retime/ff_placement.h"
+#include "tile/tile_grid.h"
+
+namespace lac::retime {
+namespace {
+
+// Grid over an empty 400x200 chip with 100-um tiles: 4x2 channel tiles.
+tile::TileGrid channel_grid() {
+  static floorplan::Floorplan fp;
+  fp.chip = Rect{{0, 0}, {400, 200}};
+  fp.blocks.clear();
+  fp.placement.clear();
+  tile::TileGridOptions opt;
+  opt.tile_size = 100;
+  return tile::TileGrid(fp, {}, opt);
+}
+
+TEST(FfPlacement, FlipFlopsLandInTailTile) {
+  auto grid = channel_grid();
+  RetimingGraph g;
+  const auto t0 = grid.tile_of_cell(0, 0);
+  const auto t1 = grid.tile_of_cell(1, 0);
+  const int a = g.add_vertex(VertexKind::kFunctional, 1.0, t0);
+  const int b = g.add_vertex(VertexKind::kFunctional, 1.0, t1);
+  g.add_edge(a, b, 2);
+  g.add_edge(b, a, 1);
+  std::vector<int> r(static_cast<std::size_t>(g.num_vertices()), 0);
+  const auto rep = place_flipflops(g, grid, r, 50.0);
+  EXPECT_EQ(rep.n_f, 3);
+  EXPECT_DOUBLE_EQ(rep.ac[t0.index()], 100.0);  // 2 FFs from edge a->b
+  EXPECT_DOUBLE_EQ(rep.ac[t1.index()], 50.0);   // 1 FF from edge b->a
+  EXPECT_EQ(rep.n_foa, 0);
+  EXPECT_TRUE(rep.fits());
+}
+
+TEST(FfPlacement, InterconnectTailCountsAsNfn) {
+  auto grid = channel_grid();
+  RetimingGraph g;
+  const auto t0 = grid.tile_of_cell(0, 0);
+  const int a = g.add_vertex(VertexKind::kFunctional, 1.0, t0);
+  const int u = g.add_vertex(VertexKind::kInterconnect, 1.0, t0);
+  const int b = g.add_vertex(VertexKind::kFunctional, 1.0, t0);
+  g.add_edge(a, u, 1);
+  g.add_edge(u, b, 2);
+  g.add_edge(b, a, 1);
+  std::vector<int> r(static_cast<std::size_t>(g.num_vertices()), 0);
+  const auto rep = place_flipflops(g, grid, r, 10.0);
+  EXPECT_EQ(rep.n_f, 4);
+  EXPECT_EQ(rep.n_fn, 2);  // only the edge with interconnect tail
+}
+
+TEST(FfPlacement, OverflowCountsCeilOfDeficit) {
+  auto grid = channel_grid();
+  const auto t0 = grid.tile_of_cell(0, 0);
+  // Shrink tile capacity to 120 µm²; 3 FFs x 50 µm² = 150 -> 30 over ->
+  // ceil(30/50) = 1 violating FF.
+  grid.consume(t0, grid.capacity(t0) - 120.0);
+  RetimingGraph g;
+  const int a = g.add_vertex(VertexKind::kFunctional, 1.0, t0);
+  const int b = g.add_vertex(VertexKind::kFunctional, 1.0,
+                             grid.tile_of_cell(1, 0));
+  g.add_edge(a, b, 3);
+  g.add_edge(b, a, 0);
+  std::vector<int> r(static_cast<std::size_t>(g.num_vertices()), 0);
+  const auto rep = place_flipflops(g, grid, r, 50.0);
+  EXPECT_EQ(rep.n_foa, 1);
+  EXPECT_EQ(rep.tiles_violating, 1);
+  EXPECT_NEAR(rep.worst_overflow, 30.0, 1e-9);
+  EXPECT_FALSE(rep.fits());
+}
+
+TEST(FfPlacement, ExactFitIsNotViolation) {
+  auto grid = channel_grid();
+  const auto t0 = grid.tile_of_cell(0, 0);
+  grid.consume(t0, grid.capacity(t0) - 100.0);
+  RetimingGraph g;
+  const int a = g.add_vertex(VertexKind::kFunctional, 1.0, t0);
+  const int b = g.add_vertex(VertexKind::kFunctional, 1.0,
+                             grid.tile_of_cell(1, 0));
+  g.add_edge(a, b, 2);
+  g.add_edge(b, a, 0);
+  std::vector<int> r(static_cast<std::size_t>(g.num_vertices()), 0);
+  const auto rep = place_flipflops(g, grid, r, 50.0);
+  EXPECT_EQ(rep.n_foa, 0);
+}
+
+TEST(FfPlacement, RetimingShiftsAccounting) {
+  auto grid = channel_grid();
+  const auto t0 = grid.tile_of_cell(0, 0);
+  const auto t1 = grid.tile_of_cell(1, 0);
+  RetimingGraph g;
+  const int a = g.add_vertex(VertexKind::kFunctional, 1.0, t0);
+  const int b = g.add_vertex(VertexKind::kFunctional, 1.0, t1);
+  const int c = g.add_vertex(VertexKind::kFunctional, 1.0, t0);
+  g.add_edge(a, b, 1);
+  g.add_edge(b, c, 0);
+  g.add_edge(c, a, 1);
+  std::vector<int> r(static_cast<std::size_t>(g.num_vertices()), 0);
+  r[static_cast<std::size_t>(b)] = -1;  // move the FF from a->b to b->c
+  ASSERT_TRUE(g.is_legal_retiming(r));
+  const auto rep = place_flipflops(g, grid, r, 50.0);
+  EXPECT_DOUBLE_EQ(rep.ac[t0.index()], 50.0);  // c->a unchanged
+  EXPECT_DOUBLE_EQ(rep.ac[t1.index()], 50.0);  // b->c now carries the FF
+}
+
+TEST(FfPlacement, RejectsIllegalRetiming) {
+  auto grid = channel_grid();
+  RetimingGraph g;
+  const auto t0 = grid.tile_of_cell(0, 0);
+  const int a = g.add_vertex(VertexKind::kFunctional, 1.0, t0);
+  const int b = g.add_vertex(VertexKind::kFunctional, 1.0, t0);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 1);
+  std::vector<int> r{0, 0, -1};
+  EXPECT_THROW(place_flipflops(g, grid, r, 10.0), CheckError);
+}
+
+}  // namespace
+}  // namespace lac::retime

@@ -1,0 +1,118 @@
+// Hard-block behaviour (paper §2, §4): hard blocks offer only pre-located
+// repeater/flip-flop sites, so LAC-retiming must steer registers away from
+// them and into channels or soft blocks.
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplanner.h"
+#include "retime/lac_retimer.h"
+#include "retime/min_area.h"
+#include "retime/wd_matrices.h"
+#include "tile/tile_grid.h"
+
+namespace lac::retime {
+namespace {
+
+// Floorplan: one hard block on the left, channel on the right.
+struct HardScenario {
+  floorplan::Floorplan fp;
+  tile::TileGrid grid;
+  RetimingGraph g;
+  tile::TileId hard_tile, channel_tile;
+};
+
+HardScenario make_scenario(int sites_per_cell) {
+  floorplan::Floorplan fp;
+  fp.chip = Rect{{0, 0}, {400, 200}};
+  floorplan::BlockSpec hard;
+  hard.name = "macro";
+  hard.hard = true;
+  hard.area = 200.0 * 200.0;
+  hard.fixed_w = 200;
+  hard.fixed_h = 200;
+  fp.blocks = {hard};
+  fp.placement = {Rect{{0, 0}, {200, 200}}};
+
+  tile::TileGridOptions opt;
+  opt.tile_size = 200;
+  opt.hard_sites_per_cell = sites_per_cell;
+  opt.site_area = 100.0;
+  tile::TileGrid grid(fp, {0.0}, opt);
+
+  HardScenario s{std::move(fp), std::move(grid), RetimingGraph{},
+                 tile::TileId::invalid(), tile::TileId::invalid()};
+  s.hard_tile = s.grid.tile_of_cell(0, 0);
+  s.channel_tile = s.grid.tile_of_cell(1, 0);
+
+  // Ring through the macro: macro gate -> wire unit (channel) -> external
+  // gate -> back, with 3 registers initially at the macro's output.
+  const int m = s.g.add_vertex(VertexKind::kFunctional, 1.0, s.hard_tile);
+  const int u = s.g.add_vertex(VertexKind::kInterconnect, 1.0, s.channel_tile);
+  const int x = s.g.add_vertex(VertexKind::kFunctional, 1.0, s.channel_tile);
+  s.g.add_edge(m, u, 3);
+  s.g.add_edge(u, x, 0);
+  s.g.add_edge(x, m, 0);
+  return s;
+}
+
+TEST(HardBlocks, TileKindsAndCapacities) {
+  const auto s = make_scenario(2);
+  EXPECT_EQ(s.grid.kind(s.hard_tile), tile::TileKind::kHardBlock);
+  EXPECT_EQ(s.grid.kind(s.channel_tile), tile::TileKind::kChannel);
+  EXPECT_DOUBLE_EQ(s.grid.capacity(s.hard_tile), 200.0);  // 2 sites x 100
+  EXPECT_GT(s.grid.capacity(s.channel_tile), 10000.0);
+}
+
+TEST(HardBlocks, MinAreaOverflowsTheSites) {
+  auto s = make_scenario(1);  // one 100 um^2 site
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  const auto r = min_area_retiming(s.g, cs);
+  ASSERT_TRUE(r.has_value());
+  // With the epsilon tie-break, plain min-area keeps the 3 registers at the
+  // macro's output — 3 x 150 um^2 against one 100 um^2 site.
+  const auto rep = place_flipflops(s.g, s.grid, *r, 150.0);
+  EXPECT_GT(rep.n_foa, 0);
+  EXPECT_GT(rep.ac[s.hard_tile.index()], s.grid.capacity(s.hard_tile));
+}
+
+TEST(HardBlocks, LacEvacuatesIntoTheChannel) {
+  auto s = make_scenario(1);
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  LacOptions opt;
+  opt.ff_area = 150.0;
+  const auto lac = lac_retiming(s.g, s.grid, cs, opt);
+  EXPECT_TRUE(lac.met_all_constraints) << "n_foa=" << lac.report.n_foa;
+  EXPECT_LE(lac.report.ac[s.hard_tile.index()],
+            s.grid.capacity(s.hard_tile) + 1e-9);
+}
+
+TEST(HardBlocks, EnoughSitesMeansNoPressure) {
+  auto s = make_scenario(8);  // 800 um^2 of sites >= 3 x 150
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  LacOptions opt;
+  opt.ff_area = 150.0;
+  const auto lac = lac_retiming(s.g, s.grid, cs, opt);
+  EXPECT_TRUE(lac.met_all_constraints);
+  EXPECT_EQ(lac.n_wr, 1);  // first solve already fits
+}
+
+TEST(HardBlocks, TightClockCanForceSiteViolations) {
+  // At T = 1.5 every vertex pair needs a register between them: one
+  // register is pinned on the macro's output edge regardless of weights,
+  // so with zero sites LAC must report the violation honestly.
+  auto s = make_scenario(1);
+  s.grid.consume(s.hard_tile, s.grid.capacity(s.hard_tile));  // no sites left
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(1.5));
+  LacOptions opt;
+  opt.ff_area = 150.0;
+  opt.n_max = 3;
+  const auto lac = lac_retiming(s.g, s.grid, cs, opt);
+  EXPECT_FALSE(lac.met_all_constraints);
+  EXPECT_GT(lac.report.n_foa, 0);
+}
+
+}  // namespace
+}  // namespace lac::retime

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplanner.h"
+#include "retime/lac_retimer.h"
+#include "retime/min_area.h"
+#include "retime/wd_matrices.h"
+#include "tile/tile_grid.h"
+
+namespace lac::retime {
+namespace {
+
+// A constructed scenario where plain min-area retiming violates a tiny
+// tile but an equally-cheap alternative placement fits:
+//
+//   ring:  a --w2--> u --0--> b --w1--> a     (u is an interconnect unit)
+//
+// a sits in a tile with almost no capacity; u sits in a roomy channel.
+// Min-area cost is the same wherever the registers sit on the a->u->b
+// chain, so the weighted retimer can move them off a's tile.
+struct Scenario {
+  tile::TileGrid grid;
+  RetimingGraph g;
+  tile::TileId tight, roomy;
+};
+
+Scenario make_scenario() {
+  static floorplan::Floorplan fp;
+  fp.chip = Rect{{0, 0}, {200, 100}};
+  fp.blocks.clear();
+  fp.placement.clear();
+  tile::TileGridOptions opt;
+  opt.tile_size = 100;
+  Scenario s{tile::TileGrid(fp, {}, opt), RetimingGraph{},
+             tile::TileId::invalid(), tile::TileId::invalid()};
+  s.tight = s.grid.tile_of_cell(0, 0);
+  s.roomy = s.grid.tile_of_cell(1, 0);
+  s.grid.consume(s.tight, s.grid.capacity(s.tight) - 10.0);  // ~no room
+  const int a = s.g.add_vertex(VertexKind::kFunctional, 1.0, s.tight);
+  const int u = s.g.add_vertex(VertexKind::kInterconnect, 1.0, s.roomy);
+  const int b = s.g.add_vertex(VertexKind::kFunctional, 1.0, s.roomy);
+  s.g.add_edge(a, u, 2);
+  s.g.add_edge(u, b, 0);
+  s.g.add_edge(b, a, 1);
+  return s;
+}
+
+LacOptions ff50() {
+  LacOptions opt;
+  opt.ff_area = 50.0;
+  return opt;
+}
+
+TEST(Lac, MovesRegistersOutOfTightTile) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));  // loose clock
+
+  // Plain min-area may (and with our solver does) leave registers on a's
+  // out-edge; the point of the test is that LAC ends with zero violations.
+  const auto lac = lac_retiming(s.g, s.grid, cs, ff50());
+  EXPECT_TRUE(lac.met_all_constraints);
+  EXPECT_EQ(lac.report.n_foa, 0);
+  EXPECT_LE(lac.report.ac[s.tight.index()], s.grid.capacity(s.tight) + 1e-9);
+  EXPECT_TRUE(s.g.is_legal_retiming(lac.r));
+}
+
+TEST(Lac, NeverWorseThanMinAreaOnViolations) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  const auto ma = min_area_retiming(s.g, cs);
+  ASSERT_TRUE(ma.has_value());
+  const auto ma_rep = place_flipflops(s.g, s.grid, *ma, 50.0);
+  const auto lac = lac_retiming(s.g, s.grid, cs, ff50());
+  EXPECT_LE(lac.report.n_foa, ma_rep.n_foa);
+}
+
+TEST(Lac, RespectsClockPeriod) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  const double t = 3.0;  // tight: two units in series already cost 2
+  const auto cs = build_constraints(s.g, wd, to_decips(t));
+  const auto lac = lac_retiming(s.g, s.grid, cs, ff50());
+  EXPECT_LE(s.g.period_after_ps(lac.r), t + 1e-9);
+}
+
+TEST(Lac, PeriodBelowUnitDelayRejectedAtConstraintBuild) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  EXPECT_THROW(build_constraints(s.g, wd, to_decips(0.5)), CheckError);
+}
+
+TEST(Lac, StopsWithinRoundBudget) {
+  auto s = make_scenario();
+  // Make the tight tile impossible: negative capacity everywhere relevant.
+  s.grid.consume(s.tight, 1e9);
+  s.grid.consume(s.roomy, 1e9);
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  LacOptions opt = ff50();
+  opt.n_max = 3;
+  opt.max_rounds = 40;
+  const auto lac = lac_retiming(s.g, s.grid, cs, opt);
+  EXPECT_FALSE(lac.met_all_constraints);
+  // best found in round 1, then n_max non-improving rounds.
+  EXPECT_LE(lac.n_wr, 1 + opt.n_max + 1);
+}
+
+TEST(Lac, ReweightingRaisesOverfullTiles) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  LacOptions opt = ff50();
+  opt.n_max = 2;
+  const auto lac = lac_retiming(s.g, s.grid, cs, opt);
+  ASSERT_EQ(static_cast<int>(lac.tile_weight.size()), s.grid.num_tiles());
+  // Weights stay within the configured clamp.
+  for (const double w : lac.tile_weight) {
+    EXPECT_GE(w, opt.weight_min);
+    EXPECT_LE(w, opt.weight_max);
+  }
+}
+
+TEST(Lac, AlphaZeroNeverChangesWeights) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  LacOptions opt = ff50();
+  opt.alpha = 0.0;  // update factor degenerates to 1.0 — pure min-area
+  opt.n_max = 2;
+  const auto lac = lac_retiming(s.g, s.grid, cs, opt);
+  for (const double w : lac.tile_weight) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(Lac, SingleRoundWhenAlreadyFits) {
+  // Roomy everywhere: the first weighted min-area already satisfies all
+  // constraints, so exactly one solve happens.
+  static floorplan::Floorplan fp;
+  fp.chip = Rect{{0, 0}, {200, 100}};
+  fp.blocks.clear();
+  fp.placement.clear();
+  tile::TileGridOptions topt;
+  topt.tile_size = 100;
+  tile::TileGrid grid(fp, {}, topt);
+  RetimingGraph g;
+  const int a = g.add_vertex(VertexKind::kFunctional, 1.0, grid.tile_of_cell(0, 0));
+  const int b = g.add_vertex(VertexKind::kFunctional, 1.0, grid.tile_of_cell(1, 0));
+  g.add_edge(a, b, 1);
+  g.add_edge(b, a, 1);
+  const auto wd = WdMatrices::compute(g);
+  const auto cs = build_constraints(g, wd, to_decips(5.0));
+  const auto lac = lac_retiming(g, grid, cs, ff50());
+  EXPECT_EQ(lac.n_wr, 1);
+  EXPECT_TRUE(lac.met_all_constraints);
+}
+
+}  // namespace
+}  // namespace lac::retime

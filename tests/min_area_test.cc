@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "retime/constraints.h"
+#include "retime/min_area.h"
+#include "retime/wd_matrices.h"
+#include "tests/test_util.h"
+
+namespace lac::retime {
+namespace {
+
+std::vector<double> uniform_weights(const RetimingGraph& g) {
+  return std::vector<double>(static_cast<std::size_t>(g.num_vertices()), 1.0);
+}
+
+TEST(MinArea, CorrelatorAtTightPeriod) {
+  const auto g = test::correlator_graph();
+  const auto wd = WdMatrices::compute(g);
+  const auto cs = build_constraints(g, wd, to_decips(7.0));
+  const auto r = min_area_retiming(g, cs);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(g.is_legal_retiming(*r));
+  EXPECT_LE(g.period_after_ps(*r), 7.0 + 1e-9);
+  // Total registers: min possible at T=7 is 3 (cycle weight invariant).
+  std::int64_t total = 0;
+  for (int e = 0; e < g.num_edges(); ++e) total += g.retimed_weight(e, *r);
+  EXPECT_EQ(total, 3);
+}
+
+TEST(MinArea, InfeasiblePeriodReturnsNullopt) {
+  // Register-free pinned pipeline: pi -> a(5) -> b(5) -> po.  Any period
+  // below 10 needs a register that I/O pinning forbids creating.
+  RetimingGraph g;
+  const auto t = tile::TileId::invalid();
+  const int pi = g.add_vertex(VertexKind::kFunctional, 0.0, t);
+  const int a = g.add_vertex(VertexKind::kFunctional, 5.0, t);
+  const int b = g.add_vertex(VertexKind::kFunctional, 5.0, t);
+  const int po = g.add_vertex(VertexKind::kFunctional, 0.0, t);
+  g.add_edge(pi, a, 0);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, po, 0);
+  g.mark_io(pi);
+  g.mark_io(po);
+  const auto wd = WdMatrices::compute(g);
+  const auto cs = build_constraints(g, wd, to_decips(6.0));
+  EXPECT_FALSE(min_area_retiming(g, cs).has_value());
+}
+
+TEST(MinArea, MatchesBruteForceUniform) {
+  Rng rng(55);
+  int compared = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto g = test::random_retiming_graph(rng, 4, 4, /*max_w=*/1);
+    const auto wd = WdMatrices::compute(g);
+    // A period halfway between min and init keeps the instance non-trivial.
+    const double t =
+        (from_decips(wd.max_vertex_delay_decips()) + wd.t_init_ps()) / 2.0;
+    const auto cs = build_constraints(g, wd, to_decips(t));
+    const auto weights = uniform_weights(g);
+    const auto r = weighted_min_area_retiming(g, cs, weights);
+    const auto brute = test::brute_force_min_area(g, from_decips(to_decips(t)),
+                                                  weights, /*bound=*/3);
+    if (!r.has_value()) {
+      EXPECT_FALSE(brute.has_value()) << "flow infeasible but brute found one";
+      continue;
+    }
+    ASSERT_TRUE(brute.has_value());
+    const double flow_cost = weighted_ff_area(g, *r, weights);
+    EXPECT_NEAR(flow_cost, *brute, 1e-6) << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GT(compared, 10);  // most instances must be feasible
+}
+
+TEST(MinArea, MatchesBruteForceWeighted) {
+  Rng rng(66);
+  int compared = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto g = test::random_retiming_graph(rng, 4, 3, /*max_w=*/1);
+    const auto wd = WdMatrices::compute(g);
+    const double t =
+        (from_decips(wd.max_vertex_delay_decips()) + wd.t_init_ps()) / 2.0;
+    const auto cs = build_constraints(g, wd, to_decips(t));
+    std::vector<double> weights(static_cast<std::size_t>(g.num_vertices()));
+    for (auto& w : weights) w = 0.25 + rng.uniform_real() * 4.0;
+    const auto r = weighted_min_area_retiming(g, cs, weights);
+    const auto brute = test::brute_force_min_area(g, from_decips(to_decips(t)),
+                                                  weights, /*bound=*/3);
+    if (!r.has_value()) {
+      EXPECT_FALSE(brute.has_value());
+      continue;
+    }
+    ASSERT_TRUE(brute.has_value());
+    // Quantisation of weights can perturb tie-breaking; the flow optimum
+    // must still be within a hair of the true optimum.
+    const double flow_cost = weighted_ff_area(g, *r, weights);
+    EXPECT_LE(flow_cost, *brute * 1.001 + 1e-6) << "trial " << trial;
+    EXPECT_GE(flow_cost, *brute - 1e-6) << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST(MinArea, RespectsClockConstraintsAcrossSweep) {
+  Rng rng(77);
+  auto g = test::random_retiming_graph(rng, 12, 16);
+  const auto wd = WdMatrices::compute(g);
+  const auto lo = wd.max_vertex_delay_decips();
+  const auto hi = to_decips(wd.t_init_ps());
+  for (int step = 0; step <= 4; ++step) {
+    const std::int32_t T = lo + (hi - lo) * step / 4;
+    const auto cs = build_constraints(g, wd, T);
+    const auto r = min_area_retiming(g, cs);
+    if (!r.has_value()) continue;  // below T_min
+    EXPECT_TRUE(g.is_legal_retiming(*r));
+    EXPECT_LE(g.period_after_ps(*r), from_decips(T) + 1e-9);
+  }
+}
+
+TEST(MinArea, NeverWorseThanIdentityAtTInit) {
+  Rng rng(88);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = test::random_retiming_graph(rng, 8, 10);
+    const auto wd = WdMatrices::compute(g);
+    const auto cs = build_constraints(g, wd, to_decips(wd.t_init_ps()));
+    const auto r = min_area_retiming(g, cs);
+    ASSERT_TRUE(r.has_value());
+    std::int64_t after = 0;
+    for (int e = 0; e < g.num_edges(); ++e) after += g.retimed_weight(e, *r);
+    EXPECT_LE(after, g.total_weight());
+  }
+}
+
+TEST(MinArea, HostLabelIsZero) {
+  const auto g = test::correlator_graph();
+  const auto wd = WdMatrices::compute(g);
+  const auto cs = build_constraints(g, wd, to_decips(8.0));
+  const auto r = min_area_retiming(g, cs);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)[static_cast<std::size_t>(g.host())], 0);
+}
+
+TEST(MinArea, RejectsNonPositiveWeights) {
+  const auto g = test::correlator_graph();
+  const auto wd = WdMatrices::compute(g);
+  const auto cs = build_constraints(g, wd, to_decips(10.0));
+  std::vector<double> weights(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  weights[2] = 0.0;
+  EXPECT_THROW(weighted_min_area_retiming(g, cs, weights), CheckError);
+}
+
+TEST(MinArea, IoPinningRespected) {
+  RetimingGraph g;
+  const auto t = tile::TileId::invalid();
+  const int pi = g.add_vertex(VertexKind::kFunctional, 0.0, t);
+  const int a = g.add_vertex(VertexKind::kFunctional, 5.0, t);
+  const int po = g.add_vertex(VertexKind::kFunctional, 0.0, t);
+  g.add_edge(pi, a, 1);
+  g.add_edge(a, po, 1);
+  g.mark_io(pi);
+  g.mark_io(po);
+  const auto wd = WdMatrices::compute(g);
+  const auto cs = build_constraints(g, wd, to_decips(5.0));
+  const auto r = min_area_retiming(g, cs);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)[static_cast<std::size_t>(pi)], 0);
+  EXPECT_EQ((*r)[static_cast<std::size_t>(po)], 0);
+}
+
+}  // namespace
+}  // namespace lac::retime

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "netlist/bench_io.h"
+#include "netlist/cell.h"
+#include "netlist/netlist.h"
+
+namespace lac::netlist {
+namespace {
+
+TEST(Cell, TypeNamesRoundTrip) {
+  for (const CellType t :
+       {CellType::kInput, CellType::kOutput, CellType::kDff, CellType::kBuf,
+        CellType::kNot, CellType::kAnd, CellType::kNand, CellType::kOr,
+        CellType::kNor, CellType::kXor, CellType::kXnor}) {
+    const auto parsed = parse_cell_type(cell_type_name(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(Cell, ParseAliases) {
+  EXPECT_EQ(parse_cell_type("BUFF"), CellType::kBuf);
+  EXPECT_EQ(parse_cell_type("inv"), CellType::kNot);
+  EXPECT_EQ(parse_cell_type("nand"), CellType::kNand);
+  EXPECT_FALSE(parse_cell_type("FOO").has_value());
+}
+
+TEST(Cell, Arity) {
+  EXPECT_EQ(cell_arity(CellType::kInput).max, 0);
+  EXPECT_EQ(cell_arity(CellType::kDff).min, 1);
+  EXPECT_EQ(cell_arity(CellType::kDff).max, 1);
+  EXPECT_LT(cell_arity(CellType::kNand).max, 0);  // unbounded
+}
+
+Netlist tiny() {
+  Netlist nl("tiny");
+  const auto a = nl.add_cell("a", CellType::kInput);
+  const auto b = nl.add_cell("b", CellType::kInput);
+  const auto g = nl.add_cell("g", CellType::kNand);
+  const auto d = nl.add_cell("d", CellType::kDff);
+  const auto o = nl.add_cell("o", CellType::kOutput);
+  nl.connect(g, a);
+  nl.connect(g, b);
+  nl.connect(d, g);
+  nl.connect(o, d);
+  return nl;
+}
+
+TEST(Netlist, BasicTopology) {
+  const auto nl = tiny();
+  EXPECT_EQ(nl.num_cells(), 5);
+  EXPECT_EQ(nl.num_gates(), 1);
+  EXPECT_EQ(nl.count(CellType::kDff), 1);
+  const auto g = *nl.find("g");
+  EXPECT_EQ(nl.fanins(g).size(), 2u);
+  EXPECT_EQ(nl.fanouts(g).size(), 1u);
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist nl;
+  nl.add_cell("x", CellType::kInput);
+  EXPECT_THROW(nl.add_cell("x", CellType::kNand), CheckError);
+}
+
+TEST(Netlist, FindMissing) {
+  const auto nl = tiny();
+  EXPECT_FALSE(nl.find("nope").has_value());
+}
+
+TEST(Netlist, ValidateCatchesBadArity) {
+  Netlist nl;
+  const auto a = nl.add_cell("a", CellType::kInput);
+  const auto d = nl.add_cell("d", CellType::kDff);
+  nl.connect(d, a);
+  nl.connect(d, a);  // DFF with two fanins
+  const auto err = nl.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("d"), std::string::npos);
+}
+
+TEST(Netlist, ValidateCatchesCombinationalCycle) {
+  Netlist nl;
+  const auto g1 = nl.add_cell("g1", CellType::kNot);
+  const auto g2 = nl.add_cell("g2", CellType::kNot);
+  nl.connect(g1, g2);
+  nl.connect(g2, g1);
+  const auto err = nl.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("cycle"), std::string::npos);
+}
+
+TEST(Netlist, CycleThroughDffIsLegal) {
+  Netlist nl;
+  const auto g = nl.add_cell("g", CellType::kNot);
+  const auto d = nl.add_cell("d", CellType::kDff);
+  nl.connect(d, g);
+  nl.connect(g, d);
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+// ------------------------------------------------------------ bench parser
+
+constexpr const char* kSample = R"(
+# a comment
+INPUT(i0)
+INPUT(i1)
+OUTPUT(n2)
+n1 = NAND(i0, i1)
+n2 = DFF(n1)
+)";
+
+TEST(BenchIo, ParsesSample) {
+  const auto nl = parse_bench(kSample, "sample");
+  EXPECT_EQ(nl.count(CellType::kInput), 2);
+  EXPECT_EQ(nl.count(CellType::kOutput), 1);
+  EXPECT_EQ(nl.count(CellType::kDff), 1);
+  EXPECT_EQ(nl.num_gates(), 1);
+  const auto po = nl.cells_of_type(CellType::kOutput).front();
+  EXPECT_EQ(nl.cell_name(nl.fanins(po)[0]), "n2");
+}
+
+TEST(BenchIo, RoundTripIsStructurallyIdentical) {
+  const auto nl = parse_bench(kSample, "sample");
+  const auto text = write_bench(nl);
+  const auto nl2 = parse_bench(text, "sample2");
+  EXPECT_EQ(nl.num_cells(), nl2.num_cells());
+  for (const auto c : nl.cells()) {
+    const auto c2 = nl2.find(nl.cell_name(c));
+    ASSERT_TRUE(c2.has_value()) << nl.cell_name(c);
+    EXPECT_EQ(nl.type(c), nl2.type(*c2));
+    ASSERT_EQ(nl.fanins(c).size(), nl2.fanins(*c2).size());
+    for (std::size_t i = 0; i < nl.fanins(c).size(); ++i)
+      EXPECT_EQ(nl.cell_name(nl.fanins(c)[i]),
+                nl2.cell_name(nl2.fanins(*c2)[i]));
+  }
+}
+
+TEST(BenchIo, UndefinedSignalRejected) {
+  EXPECT_THROW(parse_bench("a = NOT(ghost)\n"), CheckError);
+}
+
+TEST(BenchIo, RedefinitionRejected) {
+  EXPECT_THROW(parse_bench("INPUT(a)\na = NOT(a)\n"), CheckError);
+}
+
+TEST(BenchIo, UnknownTypeRejected) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nb = FROB(a)\n"), CheckError);
+}
+
+TEST(BenchIo, MalformedLineRejected) {
+  EXPECT_THROW(parse_bench("WHAT(a)\n"), CheckError);
+  EXPECT_THROW(parse_bench("x = NOT a\n"), CheckError);
+}
+
+TEST(BenchIo, OutputOfUndefinedSignalRejected) {
+  EXPECT_THROW(parse_bench("OUTPUT(ghost)\n"), CheckError);
+}
+
+TEST(BenchIo, CaseInsensitiveKeywordsAndWhitespace) {
+  const auto nl = parse_bench("input( x )\n y = not(x)\noutput(y)\n");
+  EXPECT_EQ(nl.count(CellType::kInput), 1);
+  EXPECT_EQ(nl.num_gates(), 1);
+}
+
+TEST(BenchIo, CombinationalCycleInFileRejected) {
+  EXPECT_THROW(parse_bench("a = NOT(b)\nb = NOT(a)\n"), CheckError);
+}
+
+}  // namespace
+}  // namespace lac::netlist

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "netlist/generator.h"
+#include "partition/fm.h"
+#include "partition/hypergraph.h"
+
+namespace lac::partition {
+namespace {
+
+netlist::Netlist medium_circuit(std::uint64_t seed = 3) {
+  netlist::GenSpec spec;
+  spec.num_gates = 150;
+  spec.num_dffs = 15;
+  spec.num_inputs = 8;
+  spec.num_outputs = 8;
+  spec.seed = seed;
+  return netlist::generate_netlist(spec);
+}
+
+TEST(Hypergraph, BuildsOneNetPerDriverWithFanout) {
+  netlist::Netlist nl;
+  const auto a = nl.add_cell("a", netlist::CellType::kInput);
+  const auto g1 = nl.add_cell("g1", netlist::CellType::kNot);
+  const auto g2 = nl.add_cell("g2", netlist::CellType::kNot);
+  const auto o = nl.add_cell("o", netlist::CellType::kOutput);
+  nl.connect(g1, a);
+  nl.connect(g2, g1);
+  nl.connect(o, g2);
+  const auto hg = build_hypergraph(nl);
+  EXPECT_EQ(hg.num_nets(), 3);  // a, g1, g2 each drive one net
+  for (const auto& net : hg.nets) EXPECT_GE(net.size(), 2u);
+}
+
+TEST(Hypergraph, DedupesSinks) {
+  netlist::Netlist nl;
+  const auto a = nl.add_cell("a", netlist::CellType::kInput);
+  const auto g = nl.add_cell("g", netlist::CellType::kAnd);
+  nl.connect(g, a);
+  nl.connect(g, a);  // same driver twice
+  const auto hg = build_hypergraph(nl);
+  ASSERT_EQ(hg.num_nets(), 1);
+  EXPECT_EQ(hg.nets[0].size(), 2u);
+}
+
+TEST(Hypergraph, CutSizeCounts) {
+  netlist::Netlist nl;
+  const auto a = nl.add_cell("a", netlist::CellType::kInput);
+  const auto g1 = nl.add_cell("g1", netlist::CellType::kNot);
+  const auto g2 = nl.add_cell("g2", netlist::CellType::kNot);
+  nl.connect(g1, a);
+  nl.connect(g2, g1);
+  const auto hg = build_hypergraph(nl);
+  // Partition {a,g1} vs {g2}: only g1's net crosses.
+  std::vector<int> part{0, 0, 1};
+  EXPECT_EQ(cut_size(hg, part), 1);
+  std::vector<int> all_same{0, 0, 0};
+  EXPECT_EQ(cut_size(hg, all_same), 0);
+}
+
+TEST(Fm, BipartitionRespectsBalance) {
+  const auto nl = medium_circuit();
+  const auto hg = build_hypergraph(nl);
+  std::vector<double> area(static_cast<std::size_t>(nl.num_cells()), 1.0);
+  std::vector<int> active(static_cast<std::size_t>(nl.num_cells()));
+  std::iota(active.begin(), active.end(), 0);
+  FmOptions opt;
+  opt.balance_tolerance = 0.10;
+  const auto side = fm_bipartition(hg, active, area, 0.5, opt);
+  double a0 = 0, a1 = 0;
+  for (std::size_t i = 0; i < side.size(); ++i)
+    (side[i] == 0 ? a0 : a1) += 1.0;
+  const double total = a0 + a1;
+  EXPECT_LE(a0, 0.5 * total * 1.12);
+  EXPECT_LE(a1, 0.5 * total * 1.12);
+}
+
+TEST(Fm, ImprovesOverWorstCase) {
+  const auto nl = medium_circuit();
+  const auto hg = build_hypergraph(nl);
+  std::vector<double> area(static_cast<std::size_t>(nl.num_cells()), 1.0);
+  const auto res = partition_netlist(nl, area, 2);
+  // The cut must be well below the total net count for a connected circuit.
+  EXPECT_LT(res.cut, hg.num_nets());
+  EXPECT_GT(res.cut, 0);
+  EXPECT_EQ(cut_size(hg, res.block_of), res.cut);
+}
+
+TEST(Fm, KWayCoversAllBlocks) {
+  const auto nl = medium_circuit();
+  std::vector<double> area(static_cast<std::size_t>(nl.num_cells()), 1.0);
+  for (const int k : {1, 2, 3, 5, 9}) {
+    const auto res = partition_netlist(nl, area, k);
+    std::vector<int> count(static_cast<std::size_t>(k), 0);
+    for (const int b : res.block_of) {
+      ASSERT_GE(b, 0);
+      ASSERT_LT(b, k);
+      ++count[static_cast<std::size_t>(b)];
+    }
+    for (int b = 0; b < k; ++b)
+      EXPECT_GT(count[static_cast<std::size_t>(b)], 0) << "k=" << k << " b=" << b;
+  }
+}
+
+TEST(Fm, KWayBalanced) {
+  const auto nl = medium_circuit(9);
+  std::vector<double> area(static_cast<std::size_t>(nl.num_cells()), 1.0);
+  const int k = 6;
+  const auto res = partition_netlist(nl, area, k);
+  std::vector<double> blk(static_cast<std::size_t>(k), 0.0);
+  for (std::size_t i = 0; i < res.block_of.size(); ++i)
+    blk[static_cast<std::size_t>(res.block_of[i])] += area[i];
+  const double avg = static_cast<double>(nl.num_cells()) / k;
+  for (int b = 0; b < k; ++b) {
+    EXPECT_GT(blk[static_cast<std::size_t>(b)], 0.4 * avg);
+    EXPECT_LT(blk[static_cast<std::size_t>(b)], 1.9 * avg);
+  }
+}
+
+TEST(Fm, DeterministicForSeed) {
+  const auto nl = medium_circuit();
+  std::vector<double> area(static_cast<std::size_t>(nl.num_cells()), 1.0);
+  FmOptions opt;
+  opt.seed = 33;
+  const auto a = partition_netlist(nl, area, 4, opt);
+  const auto b = partition_netlist(nl, area, 4, opt);
+  EXPECT_EQ(a.block_of, b.block_of);
+  EXPECT_EQ(a.cut, b.cut);
+}
+
+TEST(Fm, SingleVertex) {
+  netlist::Netlist nl;
+  nl.add_cell("a", netlist::CellType::kInput);
+  std::vector<double> area{1.0};
+  const auto res = partition_netlist(nl, area, 1);
+  EXPECT_EQ(res.block_of, (std::vector<int>{0}));
+  EXPECT_EQ(res.cut, 0);
+}
+
+TEST(Fm, TwoVerticesTwoBlocks) {
+  netlist::Netlist nl;
+  const auto a = nl.add_cell("a", netlist::CellType::kInput);
+  const auto g = nl.add_cell("g", netlist::CellType::kNot);
+  nl.connect(g, a);
+  std::vector<double> area{1.0, 1.0};
+  const auto res = partition_netlist(nl, area, 2);
+  EXPECT_NE(res.block_of[0], res.block_of[1]);
+  EXPECT_EQ(res.cut, 1);
+}
+
+}  // namespace
+}  // namespace lac::partition

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "bench89/suite.h"
+#include "netlist/generator.h"
+#include "planner/interconnect_planner.h"
+
+namespace lac::planner {
+namespace {
+
+netlist::Netlist small_circuit(std::uint64_t seed = 17) {
+  netlist::GenSpec spec;
+  spec.name = "plan_small";
+  spec.num_gates = 90;
+  spec.num_dffs = 12;
+  spec.num_inputs = 6;
+  spec.num_outputs = 6;
+  spec.depth = 7;
+  spec.seed = seed;
+  return netlist::generate_netlist(spec);
+}
+
+PlannerConfig fast_config() {
+  PlannerConfig cfg;
+  cfg.num_blocks = 5;
+  cfg.seed = 11;
+  cfg.fp_opt.sa_moves_per_block = 150;  // keep tests quick
+  return cfg;
+}
+
+TEST(Planner, TimingLandmarksOrdered) {
+  const auto nl = small_circuit();
+  InterconnectPlanner planner(fast_config());
+  const auto res = planner.plan(nl);
+  EXPECT_GT(res.t_min_ps, 0.0);
+  EXPECT_LE(res.t_min_ps, res.t_clk_ps + 1e-9);
+  EXPECT_LE(res.t_clk_ps, res.t_init_ps + 1e-9);
+}
+
+TEST(Planner, BothRetimingsMeetClock) {
+  const auto nl = small_circuit();
+  InterconnectPlanner planner(fast_config());
+  const auto res = planner.plan(nl);
+  EXPECT_TRUE(res.graph.is_legal_retiming(res.min_area.r));
+  EXPECT_TRUE(res.graph.is_legal_retiming(res.lac.r));
+  EXPECT_LE(res.graph.period_after_ps(res.min_area.r), res.t_clk_ps + 0.06);
+  EXPECT_LE(res.graph.period_after_ps(res.lac.r), res.t_clk_ps + 0.06);
+}
+
+TEST(Planner, LacNeverMoreViolationsThanMinArea) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto nl = small_circuit(seed);
+    InterconnectPlanner planner(fast_config());
+    const auto res = planner.plan(nl);
+    EXPECT_LE(res.lac.report.n_foa, res.min_area.report.n_foa)
+        << "seed " << seed;
+  }
+}
+
+TEST(Planner, MinAreaBaselineHasMinimalTotalCount) {
+  const auto nl = small_circuit();
+  InterconnectPlanner planner(fast_config());
+  const auto res = planner.plan(nl);
+  // Plain min-area optimises exactly N_F, so LAC can only match or exceed.
+  EXPECT_LE(res.min_area.report.n_f, res.lac.report.n_f);
+}
+
+TEST(Planner, ConstraintPruningReported) {
+  const auto nl = small_circuit();
+  InterconnectPlanner planner(fast_config());
+  const auto res = planner.plan(nl);
+  EXPECT_GT(res.clock_constraints, 0u);
+  EXPECT_LE(res.clock_constraints, res.clock_constraints_unpruned);
+}
+
+TEST(Planner, DeterministicForSeed) {
+  const auto nl = small_circuit();
+  InterconnectPlanner planner(fast_config());
+  const auto a = planner.plan(nl);
+  const auto b = planner.plan(nl);
+  EXPECT_EQ(a.t_clk_ps, b.t_clk_ps);
+  EXPECT_EQ(a.min_area.report.n_f, b.min_area.report.n_f);
+  EXPECT_EQ(a.lac.report.n_foa, b.lac.report.n_foa);
+  EXPECT_EQ(a.lac.r, b.lac.r);
+}
+
+TEST(Planner, GraphContainsInterconnectUnitsForSpreadCircuits) {
+  const auto nl = small_circuit();
+  InterconnectPlanner planner(fast_config());
+  const auto res = planner.plan(nl);
+  EXPECT_GT(res.interconnect_units, 0);
+  EXPECT_EQ(res.graph.num_interconnect_units(), res.interconnect_units);
+}
+
+TEST(Planner, ReplanOnlyWhenViolationsRemain) {
+  const auto nl = small_circuit();
+  InterconnectPlanner planner(fast_config());
+  const auto res = planner.plan(nl);
+  const auto second = planner.replan_expanded(nl, res);
+  if (res.lac.report.fits()) {
+    EXPECT_FALSE(second.has_value());
+  } else {
+    ASSERT_TRUE(second.has_value());
+    EXPECT_LE(second->lac.report.n_foa, res.lac.report.n_foa);
+    EXPECT_GE(second->fp.chip.area(), res.fp.chip.area() * 0.9);
+  }
+}
+
+TEST(Planner, HardBlocksSupported) {
+  const auto nl = small_circuit();
+  PlannerConfig cfg = fast_config();
+  cfg.hard_block_fraction = 0.4;
+  InterconnectPlanner planner(cfg);
+  const auto res = planner.plan(nl);
+  int hard = 0;
+  for (const auto& b : res.fp.blocks) hard += b.hard;
+  EXPECT_GT(hard, 0);
+  // Pipeline still sound.
+  EXPECT_LE(res.graph.period_after_ps(res.lac.r), res.t_clk_ps + 0.06);
+}
+
+TEST(Planner, S27EndToEnd) {
+  const auto nl = bench89::s27();
+  PlannerConfig cfg = fast_config();
+  cfg.num_blocks = 3;
+  InterconnectPlanner planner(cfg);
+  const auto res = planner.plan(nl);
+  EXPECT_GT(res.t_init_ps, 0.0);
+  EXPECT_TRUE(res.graph.is_legal_retiming(res.lac.r));
+}
+
+TEST(Planner, TclkFollowsSlackFraction) {
+  const auto nl = small_circuit();
+  PlannerConfig cfg = fast_config();
+  cfg.clock_slack_fraction = 0.0;
+  InterconnectPlanner p0(cfg);
+  const auto r0 = p0.plan(nl);
+  EXPECT_NEAR(r0.t_clk_ps, r0.t_min_ps, 1e-9);
+  cfg.clock_slack_fraction = 1.0;
+  InterconnectPlanner p1(cfg);
+  const auto r1 = p1.plan(nl);
+  EXPECT_NEAR(r1.t_clk_ps, r1.t_init_ps, 1e-9);
+}
+
+}  // namespace
+}  // namespace lac::planner

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "floorplan/floorplanner.h"
+#include "repeater/repeater_planner.h"
+#include "route/global_router.h"
+#include "tile/tile_grid.h"
+#include "timing/technology.h"
+
+namespace lac::repeater {
+namespace {
+
+tile::TileGrid open_grid(Coord w = 4000, Coord h = 4000, Coord tile = 200) {
+  static floorplan::Floorplan fp;
+  fp.chip = Rect{{0, 0}, {w, h}};
+  fp.blocks.clear();
+  fp.placement.clear();
+  tile::TileGridOptions opt;
+  opt.tile_size = tile;
+  return tile::TileGrid(fp, {}, opt);
+}
+
+route::RouteTree route_one(tile::TileGrid& grid, route::RouteRequest req) {
+  route::GlobalRouter router(grid);
+  return router.route_all({std::move(req)})[0];
+}
+
+// Max distance between consecutive repeaters (or terminals) along a path.
+double max_stage_length(const route::RouteTree& tree,
+                        const BufferedNet& bnet, double step) {
+  std::set<std::pair<int, int>> rep;
+  for (const auto& c : bnet.repeater_cells) rep.insert({c.gx, c.gy});
+  double worst = 0.0;
+  for (const auto& path : tree.sink_paths) {
+    double run = 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      run += step;
+      if (rep.count({path[i].gx, path[i].gy})) {
+        worst = std::max(worst, run);
+        run = 0.0;
+      }
+    }
+    worst = std::max(worst, run);
+  }
+  return worst;
+}
+
+TEST(Repeater, ShortWireNeedsNoRepeater) {
+  auto grid = open_grid();
+  timing::Technology tech;
+  tech.max_repeater_interval = 2000.0;
+  const auto tree = route_one(grid, {{0, 0}, {{4, 0}}});  // 800 um
+  RepeaterPlanner rp(grid, tech);
+  const auto bnet = rp.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  EXPECT_TRUE(bnet.repeater_cells.empty());
+  EXPECT_EQ(rp.repeaters_inserted(), 0);
+  ASSERT_EQ(bnet.sinks.size(), 1u);
+  EXPECT_EQ(bnet.sinks[0].units.size(), 1u);  // one unbuffered stage
+}
+
+TEST(Repeater, LongWireRespectsLmax) {
+  auto grid = open_grid();
+  timing::Technology tech;
+  tech.max_repeater_interval = 1000.0;
+  const auto tree = route_one(grid, {{0, 0}, {{19, 0}}});  // 3800 um
+  RepeaterPlanner rp(grid, tech);
+  const auto bnet = rp.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  EXPECT_GE(bnet.repeater_cells.size(), 3u);
+  EXPECT_LE(max_stage_length(tree, bnet, 200.0), 1000.0 + 1e-9);
+}
+
+TEST(Repeater, TreeBranchesEachRespectLmax) {
+  auto grid = open_grid();
+  timing::Technology tech;
+  tech.max_repeater_interval = 800.0;
+  const auto tree = route_one(grid, {{0, 10}, {{19, 0}, {19, 19}}});
+  RepeaterPlanner rp(grid, tech);
+  const auto bnet = rp.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  EXPECT_LE(max_stage_length(tree, bnet, 200.0), 800.0 + 1e-9);
+}
+
+TEST(Repeater, ConsumesTileCapacity) {
+  auto grid = open_grid();
+  timing::Technology tech;
+  tech.max_repeater_interval = 600.0;
+  const double before = grid.total_channel_capacity();
+  const auto tree = route_one(grid, {{0, 0}, {{19, 0}}});
+  RepeaterPlanner rp(grid, tech);
+  const auto bnet = rp.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  ASSERT_GT(bnet.repeater_cells.size(), 0u);
+  const double after = grid.total_channel_capacity();
+  EXPECT_NEAR(before - after,
+              static_cast<double>(bnet.repeater_cells.size()) *
+                  tech.repeater_area,
+              1e-6);
+  EXPECT_DOUBLE_EQ(rp.area_consumed(), before - after);
+}
+
+TEST(Repeater, SegmentDelaysArePositiveAndSumConsistent) {
+  auto grid = open_grid();
+  timing::Technology tech;
+  tech.max_repeater_interval = 1000.0;
+  const auto tree = route_one(grid, {{0, 0}, {{15, 7}}});
+  RepeaterPlanner rp(grid, tech);
+  const auto bnet = rp.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  ASSERT_EQ(bnet.sinks.size(), 1u);
+  const auto& sp = bnet.sinks[0];
+  EXPECT_GT(sp.units.size(), 1u);
+  double sum = 0.0;
+  for (const auto& u : sp.units) {
+    EXPECT_GT(u.delay_ps, 0.0);
+    EXPECT_TRUE(u.tile.valid());
+    sum += u.delay_ps;
+  }
+  EXPECT_NEAR(sum, sp.total_delay_ps, 1e-9);
+  EXPECT_DOUBLE_EQ(sp.length_um, 22.0 * 200.0);
+}
+
+TEST(Repeater, SubdivisionMultipliesUnits) {
+  auto grid1 = open_grid();
+  auto grid2 = open_grid();
+  timing::Technology tech;
+  tech.max_repeater_interval = 1200.0;
+  const auto tree = route_one(grid1, {{0, 0}, {{18, 0}}});
+  RepeaterPlanner rp1(grid1, tech, {.units_per_segment = 1});
+  RepeaterPlanner rp3(grid2, tech, {.units_per_segment = 3});
+  const auto b1 = rp1.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  const auto b3 = rp3.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  EXPECT_EQ(b3.sinks[0].units.size(), 3 * b1.sinks[0].units.size());
+  EXPECT_NEAR(b1.sinks[0].total_delay_ps, b3.sinks[0].total_delay_ps, 1e-9);
+}
+
+TEST(Repeater, CapacityAwarePrefersRoomierTiles) {
+  // Consume most capacity in the straight-line tiles; the planner should
+  // still satisfy Lmax (correctness) — site choice is best-effort.
+  auto grid = open_grid();
+  timing::Technology tech;
+  tech.max_repeater_interval = 1000.0;
+  const auto tree = route_one(grid, {{0, 0}, {{19, 0}}});
+  for (int gx = 0; gx < grid.nx(); ++gx) {
+    const auto t = grid.tile_of_cell(gx, 0);
+    grid.consume(t, grid.capacity(t) * 0.9);
+  }
+  RepeaterPlanner rp(grid, tech);
+  const auto bnet = rp.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  EXPECT_LE(max_stage_length(tree, bnet, 200.0), 1000.0 + 1e-9);
+}
+
+TEST(Repeater, LookBackPicksTheRoomiestLegalSite) {
+  // Straight 10-cell wire with Lmax = 5 cells.  Deplete every tile except
+  // cell (2,0); the look-back window must choose it for the first repeater
+  // (it keeps both spacings <= Lmax and has the most remaining capacity).
+  auto grid = open_grid(4000, 400, 200);
+  timing::Technology tech;
+  tech.max_repeater_interval = 1000.0;  // 5 cells
+  for (int gx = 0; gx < grid.nx(); ++gx)
+    for (int gy = 0; gy < grid.ny(); ++gy) {
+      if (gx == 2 && gy == 0) continue;
+      const auto t = grid.tile_of_cell(gx, gy);
+      grid.consume(t, grid.capacity(t) - 1.0);
+    }
+  const auto tree = route_one(grid, {{0, 0}, {{9, 0}}});  // 1800 um
+  RepeaterPlanner rp(grid, tech);
+  const auto bnet = rp.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  ASSERT_FALSE(bnet.repeater_cells.empty());
+  bool used_roomy = false;
+  for (const auto& c : bnet.repeater_cells)
+    used_roomy |= (c.gx == 2 && c.gy == 0);
+  EXPECT_TRUE(used_roomy);
+  EXPECT_LE(max_stage_length(tree, bnet, 200.0), 1000.0 + 1e-9);
+}
+
+TEST(Repeater, CapacityOblivousPlacesAtForcedCell) {
+  auto grid = open_grid(4000, 400, 200);
+  timing::Technology tech;
+  tech.max_repeater_interval = 1000.0;
+  const auto tree = route_one(grid, {{0, 0}, {{9, 0}}});
+  RepeaterPlanner rp(grid, tech, {.capacity_aware = false});
+  const auto bnet = rp.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  // Greedy: first repeater exactly where the budget runs out (cell 5).
+  ASSERT_FALSE(bnet.repeater_cells.empty());
+  EXPECT_EQ(bnet.repeater_cells.front().gx, 5);
+  EXPECT_LE(max_stage_length(tree, bnet, 200.0), 1000.0 + 1e-9);
+}
+
+TEST(Repeater, UnroutedNetYieldsEmptyPlan) {
+  auto grid = open_grid();
+  timing::Technology tech;
+  RepeaterPlanner rp(grid, tech);
+  route::RouteTree empty;
+  const auto bnet = rp.plan(empty, tech.gate_out_res, tech.gate_in_cap);
+  EXPECT_TRUE(bnet.sinks.empty());
+  EXPECT_TRUE(bnet.repeater_cells.empty());
+}
+
+TEST(Repeater, ColocatedSinkHasNoUnits) {
+  auto grid = open_grid();
+  timing::Technology tech;
+  const auto tree = route_one(grid, {{3, 3}, {{3, 3}, {9, 3}}});
+  RepeaterPlanner rp(grid, tech);
+  const auto bnet = rp.plan(tree, tech.gate_out_res, tech.gate_in_cap);
+  ASSERT_EQ(bnet.sinks.size(), 2u);
+  EXPECT_TRUE(bnet.sinks[0].units.empty());
+  EXPECT_DOUBLE_EQ(bnet.sinks[0].total_delay_ps, 0.0);
+  EXPECT_FALSE(bnet.sinks[1].units.empty());
+}
+
+}  // namespace
+}  // namespace lac::repeater

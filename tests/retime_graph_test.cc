@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "retime/retiming_graph.h"
+#include "tests/test_util.h"
+
+namespace lac::retime {
+namespace {
+
+TEST(RetimingGraph, HostAlwaysExists) {
+  RetimingGraph g;
+  EXPECT_EQ(g.num_vertices(), 1);
+  EXPECT_EQ(g.kind(g.host()), VertexKind::kHost);
+  EXPECT_EQ(g.delay_decips(g.host()), 0);
+}
+
+TEST(RetimingGraph, HostCannotHaveEdges) {
+  RetimingGraph g;
+  const int v = g.add_vertex(VertexKind::kFunctional, 1.0,
+                             tile::TileId::invalid());
+  EXPECT_THROW(g.add_edge(g.host(), v, 0), CheckError);
+  EXPECT_THROW(g.add_edge(v, g.host(), 0), CheckError);
+}
+
+TEST(RetimingGraph, DeciPsQuantisation) {
+  EXPECT_EQ(to_decips(1.0), 10);
+  EXPECT_EQ(to_decips(0.04), 0);
+  EXPECT_EQ(to_decips(0.05), 1);  // rounds half up
+  EXPECT_DOUBLE_EQ(from_decips(15), 1.5);
+}
+
+TEST(RetimingGraph, RetimedWeightTelescopes) {
+  auto g = test::correlator_graph();
+  std::vector<int> r(static_cast<std::size_t>(g.num_vertices()), 0);
+  r[1] = 1;  // v1
+  // Edge v4->v1 gains 1, edge v1->v2 loses 1.
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    EXPECT_EQ(g.retimed_weight(e, r),
+              ed.w + r[static_cast<std::size_t>(ed.head)] -
+                  r[static_cast<std::size_t>(ed.tail)]);
+  }
+}
+
+TEST(RetimingGraph, CycleWeightInvariantUnderRetiming) {
+  Rng rng(5);
+  auto g = test::random_retiming_graph(rng, 8, 10);
+  // Sum of w over ALL edges changes, but around any cycle it is invariant;
+  // check the invariant via per-edge telescoping summed over a cycle we
+  // construct: use the whole edge set's tail/head increments which cancel
+  // on closed walks.  Here we verify the defining identity edge by edge.
+  std::vector<int> r(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (int v = 1; v < g.num_vertices(); ++v)
+    r[static_cast<std::size_t>(v)] = static_cast<int>(rng.uniform(5)) - 2;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    const auto w_r = g.retimed_weight(e, r);
+    EXPECT_EQ(w_r - ed.w,
+              r[static_cast<std::size_t>(ed.head)] -
+                  r[static_cast<std::size_t>(ed.tail)]);
+  }
+}
+
+TEST(RetimingGraph, LegalityChecksNonNegativity) {
+  auto g = test::correlator_graph();
+  std::vector<int> zero(static_cast<std::size_t>(g.num_vertices()), 0);
+  EXPECT_TRUE(g.is_legal_retiming(zero));
+  std::vector<int> bad = zero;
+  bad[2] = -2;  // v2: edge v1->v2 weight becomes 1 + (-2) = -1
+  EXPECT_FALSE(g.is_legal_retiming(bad));
+}
+
+TEST(RetimingGraph, LegalityChecksIoPinning) {
+  RetimingGraph g;
+  const int v = g.add_vertex(VertexKind::kFunctional, 1.0,
+                             tile::TileId::invalid());
+  const int u = g.add_vertex(VertexKind::kFunctional, 1.0,
+                             tile::TileId::invalid());
+  g.add_edge(v, u, 2);
+  g.mark_io(v);
+  std::vector<int> r{0, 1, 1};  // host=0 but io v has r=1
+  EXPECT_FALSE(g.is_legal_retiming(r));
+  std::vector<int> ok{0, 0, 1};
+  EXPECT_TRUE(g.is_legal_retiming(ok));
+}
+
+TEST(RetimingGraph, PeriodAsIsIsLongestRegisterFreePath) {
+  // chain a(2) -> b(3) -> c(4), no registers: period = 9.
+  RetimingGraph g;
+  const auto t = tile::TileId::invalid();
+  const int a = g.add_vertex(VertexKind::kFunctional, 2.0, t);
+  const int b = g.add_vertex(VertexKind::kFunctional, 3.0, t);
+  const int c = g.add_vertex(VertexKind::kFunctional, 4.0, t);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, c, 0);
+  EXPECT_DOUBLE_EQ(g.period_as_is_ps(), 9.0);
+}
+
+TEST(RetimingGraph, PeriodAfterRetimingDrops) {
+  auto g = test::correlator_graph();
+  // As is: the critical register-free path is just v4 (7.0) … plus
+  // v4->v1 w=0 chain: v4(7)+v1(3) = 10.
+  EXPECT_DOUBLE_EQ(g.period_as_is_ps(), 10.0);
+  // Retime v1 by +1: moves the register from v1->v2 back to v4->v1.
+  std::vector<int> r(static_cast<std::size_t>(g.num_vertices()), 0);
+  r[1] = 1;
+  ASSERT_TRUE(g.is_legal_retiming(r));
+  EXPECT_DOUBLE_EQ(g.period_after_ps(r), 7.0);
+}
+
+TEST(RetimingGraph, PeriodThrowsOnIllegalRetiming) {
+  auto g = test::correlator_graph();
+  std::vector<int> bad(static_cast<std::size_t>(g.num_vertices()), 0);
+  bad[2] = -5;
+  EXPECT_THROW((void)g.period_after_ps(bad), CheckError);
+}
+
+TEST(RetimingGraph, CountsKinds) {
+  RetimingGraph g;
+  const auto t = tile::TileId::invalid();
+  g.add_vertex(VertexKind::kFunctional, 1.0, t);
+  g.add_vertex(VertexKind::kInterconnect, 1.0, t);
+  g.add_vertex(VertexKind::kInterconnect, 1.0, t);
+  EXPECT_EQ(g.num_interconnect_units(), 2);
+}
+
+TEST(RetimingGraph, TotalsAccumulate) {
+  auto g = test::correlator_graph();
+  EXPECT_EQ(g.total_weight(), 3);
+  EXPECT_EQ(g.total_delay_decips(), to_decips(3.0) * 3 + to_decips(7.0));
+}
+
+}  // namespace
+}  // namespace lac::retime

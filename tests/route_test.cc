@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "floorplan/floorplanner.h"
+#include "route/global_router.h"
+#include "tile/tile_grid.h"
+
+namespace lac::route {
+namespace {
+
+// All-channel floorplan: an empty chip so routing is unobstructed.
+tile::TileGrid open_grid(Coord w = 1000, Coord h = 1000, Coord tile = 100) {
+  static floorplan::Floorplan fp;  // static: TileGrid copies what it needs
+  fp.chip = Rect{{0, 0}, {w, h}};
+  fp.blocks.clear();
+  fp.placement.clear();
+  tile::TileGridOptions opt;
+  opt.tile_size = tile;
+  return tile::TileGrid(fp, {}, opt);
+}
+
+bool adjacent(const Cell& a, const Cell& b) {
+  return std::abs(a.gx - b.gx) + std::abs(a.gy - b.gy) == 1;
+}
+
+TEST(Router, TwoPinShortestPath) {
+  auto grid = open_grid();
+  GlobalRouter router(grid);
+  const auto trees = router.route_all({{{0, 0}, {{5, 3}}}});
+  ASSERT_EQ(trees.size(), 1u);
+  ASSERT_TRUE(trees[0].routed());
+  const auto& path = trees[0].sink_paths[0];
+  EXPECT_EQ(path.front(), (Cell{0, 0}));
+  EXPECT_EQ(path.back(), (Cell{5, 3}));
+  // Manhattan-optimal in an empty grid.
+  EXPECT_EQ(path.size(), 9u);
+  for (std::size_t i = 1; i < path.size(); ++i)
+    EXPECT_TRUE(adjacent(path[i - 1], path[i]));
+}
+
+TEST(Router, MultiSinkTreeSharesTrunk) {
+  auto grid = open_grid();
+  GlobalRouter router(grid);
+  // Two sinks straight to the right; the further one extends the nearer path.
+  const auto trees = router.route_all({{{0, 0}, {{4, 0}, {8, 0}}}});
+  ASSERT_TRUE(trees[0].routed());
+  EXPECT_EQ(trees[0].edges.size(), 8u);  // no duplication on the trunk
+  EXPECT_EQ(trees[0].sink_paths.size(), 2u);
+}
+
+TEST(Router, SinkPathsParallelToRequestIncludingColocated) {
+  auto grid = open_grid();
+  GlobalRouter router(grid);
+  const auto trees =
+      router.route_all({{{2, 2}, {{2, 2}, {5, 2}, {2, 2}}}});
+  ASSERT_TRUE(trees[0].routed());
+  ASSERT_EQ(trees[0].sink_paths.size(), 3u);
+  EXPECT_EQ(trees[0].sink_paths[0].size(), 1u);  // colocated: trivial path
+  EXPECT_EQ(trees[0].sink_paths[2].size(), 1u);
+  EXPECT_EQ(trees[0].sink_paths[1].back(), (Cell{5, 2}));
+}
+
+TEST(Router, AllSinksColocatedMeansUnrouted) {
+  auto grid = open_grid();
+  GlobalRouter router(grid);
+  const auto trees = router.route_all({{{3, 3}, {{3, 3}}}});
+  EXPECT_FALSE(trees[0].routed());
+}
+
+TEST(Router, DuplicateSinksRouteOnce) {
+  auto grid = open_grid();
+  GlobalRouter router(grid);
+  const auto trees = router.route_all({{{0, 0}, {{4, 4}, {4, 4}}}});
+  ASSERT_TRUE(trees[0].routed());
+  EXPECT_EQ(trees[0].sink_paths.size(), 2u);
+  EXPECT_EQ(trees[0].sink_paths[0], trees[0].sink_paths[1]);
+}
+
+TEST(Router, WirelengthStatMatchesEdges) {
+  auto grid = open_grid();
+  GlobalRouter router(grid);
+  const auto trees = router.route_all(
+      {{{0, 0}, {{3, 0}}}, {{0, 1}, {{0, 5}}}});
+  double expected = 0.0;
+  for (const auto& t : trees)
+    expected += static_cast<double>(t.edges.size()) * 100.0;
+  EXPECT_DOUBLE_EQ(router.stats().total_wirelength_um, expected);
+}
+
+TEST(Router, CongestionSpreadsParallelNets) {
+  auto grid = open_grid(1000, 1000, 100);
+  RouterOptions opt;
+  opt.edge_capacity = 2.0;  // very low: force spreading
+  GlobalRouter router(grid, opt);
+  // Eight identical horizontal nets across the same row.
+  std::vector<RouteRequest> nets;
+  for (int i = 0; i < 8; ++i) nets.push_back({{0, 5}, {{9, 5}}});
+  const auto trees = router.route_all(nets);
+  // Count how many distinct rows are used.
+  std::set<int> rows;
+  for (const auto& t : trees)
+    for (const auto& p : t.sink_paths[0]) rows.insert(p.gy);
+  EXPECT_GT(rows.size(), 1u) << "rip-up/re-route should spread congestion";
+}
+
+TEST(Router, PathsFollowTreeEdges) {
+  auto grid = open_grid();
+  GlobalRouter router(grid);
+  const auto trees = router.route_all({{{1, 1}, {{8, 1}, {1, 8}, {8, 8}}}});
+  ASSERT_TRUE(trees[0].routed());
+  std::set<std::pair<int, int>> edge_set(trees[0].edges.begin(),
+                                         trees[0].edges.end());
+  for (const auto& path : trees[0].sink_paths) {
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const int a = path[i - 1].gy * grid.nx() + path[i - 1].gx;
+      const int b = path[i].gy * grid.nx() + path[i].gx;
+      EXPECT_TRUE(edge_set.count({std::min(a, b), std::max(a, b)}))
+          << "path step not a tree edge";
+    }
+  }
+}
+
+TEST(Router, EmptyNetList) {
+  auto grid = open_grid();
+  GlobalRouter router(grid);
+  EXPECT_TRUE(router.route_all({}).empty());
+  EXPECT_DOUBLE_EQ(router.stats().total_wirelength_um, 0.0);
+}
+
+}  // namespace
+}  // namespace lac::route

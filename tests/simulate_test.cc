@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "netlist/bench_io.h"
+#include "netlist/simulate.h"
+
+namespace lac::netlist {
+namespace {
+
+constexpr Logic L0 = Logic::kZero;
+constexpr Logic L1 = Logic::kOne;
+constexpr Logic LX = Logic::kX;
+
+TEST(Logic3, KleeneTables) {
+  EXPECT_EQ(logic_not(L0), L1);
+  EXPECT_EQ(logic_not(L1), L0);
+  EXPECT_EQ(logic_not(LX), LX);
+
+  EXPECT_EQ(logic_and(L0, LX), L0);
+  EXPECT_EQ(logic_and(LX, L0), L0);
+  EXPECT_EQ(logic_and(L1, LX), LX);
+  EXPECT_EQ(logic_and(L1, L1), L1);
+
+  EXPECT_EQ(logic_or(L1, LX), L1);
+  EXPECT_EQ(logic_or(L0, LX), LX);
+  EXPECT_EQ(logic_or(L0, L0), L0);
+
+  EXPECT_EQ(logic_xor(L1, L0), L1);
+  EXPECT_EQ(logic_xor(L1, L1), L0);
+  EXPECT_EQ(logic_xor(L1, LX), LX);
+}
+
+TEST(Simulator, CombinationalGates) {
+  const auto nl = parse_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y_and)
+OUTPUT(y_nor)
+OUTPUT(y_xor)
+y_and = AND(a, b)
+y_nor = NOR(a, b)
+y_xor = XOR(a, b)
+)");
+  Simulator sim(nl);
+  const auto out = sim.step({L1, L0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], L0);  // AND(1,0)
+  EXPECT_EQ(out[1], L0);  // NOR(1,0)
+  EXPECT_EQ(out[2], L1);  // XOR(1,0)
+  const auto out2 = sim.step({L1, L1});
+  EXPECT_EQ(out2[0], L1);
+  EXPECT_EQ(out2[1], L0);
+  EXPECT_EQ(out2[2], L0);
+}
+
+TEST(Simulator, DffDelaysByOneCycle) {
+  const auto nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(a)
+)");
+  Simulator sim(nl);
+  sim.reset();
+  EXPECT_EQ(sim.step({L1})[0], LX);  // power-up X
+  EXPECT_EQ(sim.step({L0})[0], L1);  // sees last cycle's input
+  EXPECT_EQ(sim.step({L1})[0], L0);
+  EXPECT_EQ(sim.step({L1})[0], L1);
+}
+
+TEST(Simulator, ResetToConstant) {
+  const auto nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(a)
+)");
+  Simulator sim(nl);
+  sim.reset(Logic::kZero);
+  EXPECT_EQ(sim.step({L1})[0], L0);
+}
+
+TEST(Simulator, ToggleCounterBit) {
+  // q' = NOT(q): divide-by-two from a 0-initialised flop.
+  const auto nl = parse_bench(R"(
+INPUT(dummy)
+OUTPUT(q)
+n = NOT(q)
+q = DFF(n)
+)");
+  Simulator sim(nl);
+  sim.reset(Logic::kZero);
+  EXPECT_EQ(sim.step({L0})[0], L0);
+  EXPECT_EQ(sim.step({L0})[0], L1);
+  EXPECT_EQ(sim.step({L0})[0], L0);
+  EXPECT_EQ(sim.step({L0})[0], L1);
+}
+
+TEST(Simulator, XPropagatesConservatively) {
+  const auto nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(a)
+y = AND(q, a)
+)");
+  Simulator sim(nl);
+  sim.reset();
+  // Cycle 1: q = X, a = 1 -> AND(X,1) = X.
+  EXPECT_EQ(sim.step({L1})[0], LX);
+  // But AND(X, 0) is 0 regardless of the unknown.
+  sim.reset();
+  EXPECT_EQ(sim.step({L0})[0], L0);
+}
+
+TEST(Simulator, InputCountChecked) {
+  const auto nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  Simulator sim(nl);
+  EXPECT_THROW(sim.step({L1, L0}), lac::CheckError);
+}
+
+TEST(Simulator, S27RunsAndSettles) {
+  const auto nl = parse_bench(R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)");
+  Simulator sim(nl);
+  sim.reset(Logic::kZero);
+  // With a constant stimulus the machine must settle to defined values.
+  std::vector<Logic> out;
+  for (int i = 0; i < 8; ++i) out = sim.step({L0, L0, L0, L0});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0], LX);
+}
+
+}  // namespace
+}  // namespace lac::netlist

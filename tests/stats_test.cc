@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "bench89/suite.h"
+#include "netlist/bench_io.h"
+#include "netlist/generator.h"
+#include "netlist/stats.h"
+
+namespace lac::netlist {
+namespace {
+
+TEST(Stats, CountsMatchNetlist) {
+  const auto nl = bench89::s27();
+  const auto s = compute_stats(nl);
+  EXPECT_EQ(s.num_gates, 10);
+  EXPECT_EQ(s.num_dffs, 3);
+  EXPECT_EQ(s.num_inputs, 4);
+  EXPECT_EQ(s.num_outputs, 1);
+}
+
+TEST(Stats, DepthOfChain) {
+  const auto nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(d)
+b = NOT(a)
+c = NOT(b)
+d = NOT(c)
+)");
+  EXPECT_EQ(compute_stats(nl).logic_depth, 3);
+}
+
+TEST(Stats, DepthResetsAtRegisters) {
+  const auto nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(e)
+b = NOT(a)
+c = DFF(b)
+d = NOT(c)
+e = NOT(d)
+)");
+  // Longest register-free gate chain: d -> e (2), not 4.
+  EXPECT_EQ(compute_stats(nl).logic_depth, 2);
+}
+
+TEST(Stats, FanoutHistogram) {
+  const auto nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(x)
+OUTPUT(y)
+x = NOT(a)
+y = NOT(a)
+)");
+  const auto s = compute_stats(nl);
+  EXPECT_EQ(s.max_fanout, 2);  // a drives x and y
+  ASSERT_GE(s.fanout_histogram.size(), 3u);
+  EXPECT_EQ(s.fanout_histogram[2], 1);  // only 'a'
+}
+
+TEST(Stats, DffChainsDetected) {
+  const auto nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(q2)
+q1 = DFF(a)
+q2 = DFF(q1)
+)");
+  EXPECT_EQ(compute_stats(nl).dff_chains, 1);
+}
+
+TEST(Stats, GeneratorRoughlyHitsDepthTarget) {
+  GenSpec spec;
+  spec.num_gates = 300;
+  spec.num_dffs = 30;
+  spec.depth = 12;
+  spec.seed = 77;
+  const auto s = compute_stats(generate_netlist(spec));
+  EXPECT_GE(s.logic_depth, 6);
+  EXPECT_LE(s.logic_depth, 24);
+}
+
+TEST(Stats, FormatMentionsEverything) {
+  const auto s = compute_stats(bench89::s27());
+  const auto text = format_stats(s, "s27");
+  EXPECT_NE(text.find("10 gates"), std::string::npos);
+  EXPECT_NE(text.find("3 DFFs"), std::string::npos);
+  EXPECT_NE(text.find("depth"), std::string::npos);
+}
+
+TEST(Stats, SuiteShapesAreCircuitLike) {
+  for (const auto& e : bench89::table1_suite()) {
+    const auto s = compute_stats(bench89::load(e));
+    EXPECT_GT(s.logic_depth, 2) << e.spec.name;
+    EXPECT_GT(s.avg_fanout, 0.8) << e.spec.name;
+    EXPECT_LT(s.avg_fanout, 6.0) << e.spec.name;
+    EXPECT_GE(s.max_fanout, 3) << e.spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace lac::netlist

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "bench89/suite.h"
+#include "netlist/bench_io.h"
+#include "retime/collapse.h"
+
+namespace lac::bench89 {
+namespace {
+
+TEST(Suite, S27HasCanonicalStructure) {
+  const auto nl = s27();
+  EXPECT_EQ(nl.name(), "s27");
+  EXPECT_EQ(nl.count(netlist::CellType::kInput), 4);
+  EXPECT_EQ(nl.count(netlist::CellType::kOutput), 1);
+  EXPECT_EQ(nl.count(netlist::CellType::kDff), 3);
+  EXPECT_EQ(nl.num_gates(), 10);
+  EXPECT_FALSE(nl.validate().has_value());
+  // Known connection: G11 = NOR(G5, G9).
+  const auto g11 = nl.find("G11");
+  ASSERT_TRUE(g11.has_value());
+  EXPECT_EQ(nl.type(*g11), netlist::CellType::kNor);
+  ASSERT_EQ(nl.fanins(*g11).size(), 2u);
+  EXPECT_EQ(nl.cell_name(nl.fanins(*g11)[0]), "G5");
+  EXPECT_EQ(nl.cell_name(nl.fanins(*g11)[1]), "G9");
+}
+
+TEST(Suite, S27RoundTrips) {
+  const auto nl = s27();
+  const auto nl2 = netlist::parse_bench(netlist::write_bench(nl), "s27b");
+  EXPECT_EQ(nl.num_cells(), nl2.num_cells());
+}
+
+TEST(Suite, HasTenCircuits) {
+  EXPECT_EQ(table1_suite().size(), 10u);
+}
+
+TEST(Suite, EntriesMatchPublishedSizePoints) {
+  const auto& y1423 = entry_by_name("y1423");
+  EXPECT_EQ(y1423.spec.num_gates, 657);
+  EXPECT_EQ(y1423.spec.num_dffs, 74);
+  const auto& y641 = entry_by_name("y641");
+  EXPECT_EQ(y641.spec.num_inputs, 35);
+  EXPECT_EQ(y641.spec.num_dffs, 19);
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW((void)entry_by_name("s9999"), CheckError);
+}
+
+TEST(Suite, AllCircuitsLoadValidAndSequential) {
+  for (const auto& e : table1_suite()) {
+    const auto nl = load(e);
+    EXPECT_EQ(nl.name(), e.spec.name);
+    EXPECT_FALSE(nl.validate().has_value()) << e.spec.name;
+    EXPECT_EQ(nl.num_gates(), e.spec.num_gates) << e.spec.name;
+    EXPECT_EQ(nl.count(netlist::CellType::kDff), e.spec.num_dffs)
+        << e.spec.name;
+    // Sequential depth exists: at least one registered connection.
+    bool has_registered = false;
+    for (const auto& c : retime::collapse_registers(nl))
+      has_registered |= (c.w > 0);
+    EXPECT_TRUE(has_registered) << e.spec.name;
+  }
+}
+
+TEST(Suite, LoadIsDeterministic) {
+  const auto& e = entry_by_name("y526");
+  EXPECT_EQ(netlist::write_bench(load(e)), netlist::write_bench(load(e)));
+}
+
+}  // namespace
+}  // namespace lac::bench89

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplanner.h"
+#include "tile/tile_grid.h"
+
+namespace lac::tile {
+namespace {
+
+// A hand-built floorplan: one soft block, one hard block, channel around.
+floorplan::Floorplan two_block_plan() {
+  floorplan::Floorplan fp;
+  fp.chip = Rect{{0, 0}, {1000, 500}};
+  floorplan::BlockSpec soft;
+  soft.name = "soft";
+  soft.area = 500.0 * 300.0;
+  floorplan::BlockSpec hard;
+  hard.name = "hard";
+  hard.hard = true;
+  hard.area = 200.0 * 200.0;
+  hard.fixed_w = 200;
+  hard.fixed_h = 200;
+  fp.blocks = {soft, hard};
+  fp.placement = {Rect{{50, 50}, {550, 350}}, Rect{{700, 100}, {900, 300}}};
+  fp.whitespace_fraction = 0.5;
+  return fp;
+}
+
+TileGridOptions small_tiles() {
+  TileGridOptions opt;
+  opt.tile_size = 100;
+  return opt;
+}
+
+TEST(TileGrid, DimensionsCoverChip) {
+  const auto fp = two_block_plan();
+  TileGrid grid(fp, {30000.0, 0.0}, small_tiles());
+  EXPECT_EQ(grid.nx(), 10);
+  EXPECT_EQ(grid.ny(), 5);
+  EXPECT_EQ(grid.num_cells(), 50);
+}
+
+TEST(TileGrid, SoftBlockCellsMerge) {
+  const auto fp = two_block_plan();
+  TileGrid grid(fp, {30000.0, 0.0}, small_tiles());
+  // All cells whose centre is inside the soft block map to one tile.
+  TileId soft_tile = TileId::invalid();
+  int soft_cells = 0;
+  for (int gy = 0; gy < grid.ny(); ++gy)
+    for (int gx = 0; gx < grid.nx(); ++gx) {
+      const TileId t = grid.tile_of_cell(gx, gy);
+      if (grid.kind(t) == TileKind::kSoftBlock) {
+        if (!soft_tile.valid()) soft_tile = t;
+        EXPECT_EQ(t, soft_tile);
+        ++soft_cells;
+      }
+    }
+  EXPECT_GT(soft_cells, 10);
+  EXPECT_EQ(grid.num_soft_tiles(), 1);
+}
+
+TEST(TileGrid, SoftCapacityIsAreaMinusUsed) {
+  const auto fp = two_block_plan();
+  const double used = 30000.0;
+  TileGrid grid(fp, {used, 0.0}, small_tiles());
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    if (grid.kind(TileId{t}) != TileKind::kSoftBlock) continue;
+    EXPECT_NEAR(grid.capacity(TileId{t}),
+                fp.placement[0].area() - used, 1.0);
+  }
+}
+
+TEST(TileGrid, HardBlockCellsStaySeparateWithSiteCapacity) {
+  const auto fp = two_block_plan();
+  TileGridOptions opt = small_tiles();
+  opt.hard_sites_per_cell = 3;
+  opt.site_area = 100.0;
+  TileGrid grid(fp, {0.0, 0.0}, opt);
+  int hard_tiles = 0;
+  for (int t = 0; t < grid.num_tiles(); ++t) {
+    if (grid.kind(TileId{t}) != TileKind::kHardBlock) continue;
+    ++hard_tiles;
+    EXPECT_DOUBLE_EQ(grid.capacity(TileId{t}), 300.0);
+    EXPECT_EQ(grid.block(TileId{t}).value(), 1);
+  }
+  EXPECT_GT(hard_tiles, 1);  // hard cells are NOT merged
+}
+
+TEST(TileGrid, ChannelCapacity) {
+  const auto fp = two_block_plan();
+  TileGridOptions opt = small_tiles();
+  opt.channel_utilization = 0.5;
+  TileGrid grid(fp, {0.0, 0.0}, opt);
+  const TileId t = grid.tile_at(Point{5, 450});  // top-left corner: channel
+  ASSERT_EQ(grid.kind(t), TileKind::kChannel);
+  EXPECT_DOUBLE_EQ(grid.capacity(t), 100.0 * 100.0 * 0.5);
+  EXPECT_FALSE(grid.block(t).valid());
+}
+
+TEST(TileGrid, ConsumeReducesCapacity) {
+  const auto fp = two_block_plan();
+  TileGrid grid(fp, {0.0, 0.0}, small_tiles());
+  const TileId t = grid.tile_at(Point{5, 5});
+  const double before = grid.capacity(t);
+  grid.consume(t, 123.0);
+  EXPECT_DOUBLE_EQ(grid.capacity(t), before - 123.0);
+  EXPECT_DOUBLE_EQ(grid.total_capacity(t), before);
+}
+
+TEST(TileGrid, TileAtClampsOutOfRange) {
+  const auto fp = two_block_plan();
+  TileGrid grid(fp, {0.0, 0.0}, small_tiles());
+  EXPECT_TRUE(grid.tile_at(Point{-50, -50}).valid());
+  EXPECT_TRUE(grid.tile_at(Point{5000, 5000}).valid());
+}
+
+TEST(TileGrid, CellPointRoundTrip) {
+  const auto fp = two_block_plan();
+  TileGrid grid(fp, {0.0, 0.0}, small_tiles());
+  for (int gy = 0; gy < grid.ny(); ++gy)
+    for (int gx = 0; gx < grid.nx(); ++gx) {
+      const auto c = grid.cell_center(gx, gy);
+      const auto [gx2, gy2] = grid.cell_of_point(c);
+      EXPECT_EQ(gx2, gx);
+      EXPECT_EQ(gy2, gy);
+    }
+}
+
+TEST(TileGrid, AsciiRenderShapes) {
+  const auto fp = two_block_plan();
+  TileGrid grid(fp, {0.0, 0.0}, small_tiles());
+  const std::string art = grid.render_ascii();
+  // 5 rows of 10 characters plus newlines.
+  EXPECT_EQ(art.size(), 5u * 11u);
+  EXPECT_NE(art.find('a'), std::string::npos);  // soft block 0
+  EXPECT_NE(art.find('#'), std::string::npos);  // hard block
+  EXPECT_NE(art.find('.'), std::string::npos);  // channel
+}
+
+TEST(TileGrid, TotalChannelCapacityPositive) {
+  const auto fp = two_block_plan();
+  TileGrid grid(fp, {0.0, 0.0}, small_tiles());
+  EXPECT_GT(grid.total_channel_capacity(), 0.0);
+}
+
+}  // namespace
+}  // namespace lac::tile

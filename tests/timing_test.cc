@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "timing/technology.h"
+
+namespace lac::timing {
+namespace {
+
+TEST(Timing, ZeroLengthWireIsDriverIntoLoad) {
+  Technology t;
+  // d = rd * cl * 1e-3 ps
+  EXPECT_NEAR(wire_elmore_delay(t, 200.0, 0.0, 10.0), 2.0, 1e-12);
+}
+
+TEST(Timing, ElmoreMatchesClosedForm) {
+  Technology t;
+  t.wire_res_per_um = 0.1;
+  t.wire_cap_per_um = 0.2;
+  const double rd = 100.0, len = 1000.0, cl = 5.0;
+  // rd*(c*len + cl) + r*len*(c*len/2 + cl), in milli-ps units
+  const double expect = (100.0 * (200.0 + 5.0) + 100.0 * (100.0 + 5.0)) * 1e-3;
+  EXPECT_NEAR(wire_elmore_delay(t, rd, len, cl), expect, 1e-9);
+}
+
+TEST(Timing, DelayGrowsQuadraticallyWithLength) {
+  Technology t;
+  const double d1 = wire_elmore_delay(t, 100.0, 1000.0, 10.0);
+  const double d2 = wire_elmore_delay(t, 100.0, 2000.0, 10.0);
+  const double d4 = wire_elmore_delay(t, 100.0, 4000.0, 10.0);
+  // Quadratic term dominates at long lengths: ratios exceed linear.
+  EXPECT_GT(d2 / d1, 2.0);
+  EXPECT_GT(d4 / d2, 2.0);
+}
+
+TEST(Timing, RepeaterStageIncludesIntrinsic) {
+  Technology t;
+  const double wire_only =
+      wire_elmore_delay(t, t.repeater_out_res, 500.0, t.repeater_in_cap);
+  EXPECT_NEAR(repeater_stage_delay(t, 500.0, t.repeater_in_cap),
+              wire_only + t.repeater_intrinsic_delay, 1e-12);
+}
+
+TEST(Timing, BufferingBeatsUnbufferedLongWire) {
+  Technology t;
+  const double len = 8000.0;
+  const double unbuffered =
+      unbuffered_wire_delay(t, t.gate_out_res, len, t.gate_in_cap);
+  // Four 2000 um repeater stages.
+  double buffered = wire_elmore_delay(t, t.gate_out_res, 2000.0, t.repeater_in_cap);
+  for (int i = 0; i < 3; ++i)
+    buffered += repeater_stage_delay(
+        t, 2000.0, i == 2 ? t.gate_in_cap : t.repeater_in_cap);
+  EXPECT_LT(buffered, unbuffered);
+}
+
+TEST(Timing, DefaultsAreSane) {
+  const Technology t = Technology::paper_default();
+  EXPECT_GT(t.gate_delay, 0.0);
+  EXPECT_GT(t.gate_area, t.dff_area);
+  EXPECT_GT(t.dff_area, t.repeater_area);
+  EXPECT_GT(t.max_repeater_interval, 0.0);
+}
+
+}  // namespace
+}  // namespace lac::timing

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "base/rng.h"
+#include "retime/wd_matrices.h"
+#include "tests/test_util.h"
+
+namespace lac::retime {
+namespace {
+
+// Floyd–Warshall reference on lexicographic (W, -delaySum) pairs.
+struct RefWd {
+  std::vector<std::vector<std::int64_t>> w, s;  // s = delay sum excl. head
+};
+
+RefWd reference_wd(const RetimingGraph& g) {
+  const int n = g.num_vertices();
+  constexpr std::int64_t inf = std::numeric_limits<std::int64_t>::max() / 4;
+  RefWd ref;
+  ref.w.assign(static_cast<std::size_t>(n),
+               std::vector<std::int64_t>(static_cast<std::size_t>(n), inf));
+  ref.s.assign(static_cast<std::size_t>(n),
+               std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+  for (int v = 0; v < n; ++v) {
+    ref.w[static_cast<std::size_t>(v)][static_cast<std::size_t>(v)] = 0;
+    ref.s[static_cast<std::size_t>(v)][static_cast<std::size_t>(v)] = 0;
+  }
+  auto better = [](std::int64_t w1, std::int64_t s1, std::int64_t w2,
+                   std::int64_t s2) {
+    return w1 < w2 || (w1 == w2 && s1 > s2);  // min W, then max delay
+  };
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    const std::int64_t w = ed.w;
+    const std::int64_t s = g.delay_decips(ed.tail);
+    auto& cw = ref.w[static_cast<std::size_t>(ed.tail)][static_cast<std::size_t>(ed.head)];
+    auto& cs = ref.s[static_cast<std::size_t>(ed.tail)][static_cast<std::size_t>(ed.head)];
+    if (ed.tail == ed.head) continue;
+    if (better(w, s, cw, cs)) {
+      cw = w;
+      cs = s;
+    }
+  }
+  const int nn = n;
+  for (int k = 0; k < nn; ++k)
+    for (int i = 0; i < nn; ++i) {
+      if (ref.w[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] >= inf) continue;
+      for (int j = 0; j < nn; ++j) {
+        if (ref.w[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] >= inf) continue;
+        const std::int64_t w =
+            ref.w[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] +
+            ref.w[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+        const std::int64_t s =
+            ref.s[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] +
+            ref.s[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+        if (better(w, s,
+                   ref.w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                   ref.s[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)])) {
+          ref.w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = w;
+          ref.s[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = s;
+        }
+      }
+    }
+  return ref;
+}
+
+TEST(Wd, CorrelatorKnownValues) {
+  const auto g = test::correlator_graph();
+  const auto wd = WdMatrices::compute(g);
+  // v1=1, v2=2, v3=3, v4=4 (vertex 0 is host, unreachable).
+  EXPECT_EQ(wd.w(1, 2), 1);
+  EXPECT_EQ(wd.w(1, 4), 3);
+  EXPECT_EQ(wd.w(4, 1), 0);
+  EXPECT_EQ(wd.w(2, 1), 2);  // v2->v3->v4->v1: w = 1+1+0
+  EXPECT_DOUBLE_EQ(wd.d_ps(4, 1), 10.0);  // v4(7)+v1(3), zero-weight path
+  EXPECT_DOUBLE_EQ(wd.d_ps(1, 2), 6.0);   // v1+v2 along the single path
+  EXPECT_DOUBLE_EQ(wd.d_ps(1, 1), 3.0);   // empty path: own delay
+  EXPECT_DOUBLE_EQ(wd.t_init_ps(), 10.0);
+  EXPECT_EQ(wd.w(0, 1), WdMatrices::kUnreachable);  // host is edge-less
+}
+
+TEST(Wd, MatchesFloydWarshallOnRandomGraphs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto g = test::random_retiming_graph(rng, 4 + static_cast<int>(rng.uniform(8)),
+                                         static_cast<int>(rng.uniform(14)));
+    const auto wd = WdMatrices::compute(g);
+    const auto ref = reference_wd(g);
+    constexpr std::int64_t inf = std::numeric_limits<std::int64_t>::max() / 4;
+    for (int u = 0; u < g.num_vertices(); ++u)
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        if (ref.w[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] >= inf) {
+          EXPECT_EQ(wd.w(u, v), WdMatrices::kUnreachable) << u << "->" << v;
+          continue;
+        }
+        ASSERT_NE(wd.w(u, v), WdMatrices::kUnreachable) << u << "->" << v;
+        EXPECT_EQ(wd.w(u, v),
+                  ref.w[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)])
+            << u << "->" << v;
+        EXPECT_EQ(wd.d_decips(u, v),
+                  ref.s[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] +
+                      g.delay_decips(v))
+            << u << "->" << v;
+      }
+  }
+}
+
+TEST(Wd, TInitIsMaxZeroWeightD) {
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = test::random_retiming_graph(rng, 7, 9);
+    const auto wd = WdMatrices::compute(g);
+    std::int64_t expect = 0;
+    for (int u = 0; u < g.num_vertices(); ++u)
+      for (int v = 0; v < g.num_vertices(); ++v)
+        if (wd.w(u, v) == 0) expect = std::max<std::int64_t>(expect, wd.d_decips(u, v));
+    EXPECT_DOUBLE_EQ(wd.t_init_ps(), from_decips(expect));
+    // And it must equal the graph's own register-free longest path.
+    EXPECT_NEAR(wd.t_init_ps(), g.period_as_is_ps(), 0.11);
+  }
+}
+
+TEST(Wd, RegisterFreeCycleRejected) {
+  RetimingGraph g;
+  const auto t = tile::TileId::invalid();
+  const int a = g.add_vertex(VertexKind::kFunctional, 1.0, t);
+  const int b = g.add_vertex(VertexKind::kFunctional, 1.0, t);
+  g.add_edge(a, b, 0);
+  g.add_edge(b, a, 0);
+  EXPECT_THROW(WdMatrices::compute(g), CheckError);
+}
+
+TEST(Wd, MaxVertexDelayTracked) {
+  const auto g = test::correlator_graph();
+  const auto wd = WdMatrices::compute(g);
+  EXPECT_EQ(wd.max_vertex_delay_decips(), to_decips(7.0));
+}
+
+}  // namespace
+}  // namespace lac::retime
