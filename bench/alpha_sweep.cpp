@@ -4,15 +4,18 @@
 // suite and reports remaining violations, total flip-flops and solve
 // counts per alpha, aggregated across circuits.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
+#include "bench_io.h"
 #include "planner/interconnect_planner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lac;
+  const std::string out = bench_io::out_dir(argc, argv);
 
   const std::vector<double> alphas{0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0};
   const std::vector<const char*> circuits{"y386", "y526", "y838", "y1269",
@@ -44,5 +47,6 @@ int main() {
   std::printf("Expected shape: alpha = 0 degenerates to plain min-area\n"
               "retiming (weights never change), very large alpha overshoots;\n"
               "values around 0.2 give the fewest remaining violations.\n");
+  bench_io::write_bench_report(out, "alpha_sweep");
   return 0;
 }

@@ -1,0 +1,38 @@
+// Shared CLI plumbing for the bench binaries: every tool accepts an
+// optional output directory as its first argument (default ".") and
+// writes a structured observability run report there before exiting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace lac::bench_io {
+
+// argv[1], when present and non-empty, is the output directory.
+inline std::string out_dir(int argc, char** argv) {
+  if (argc > 1 && argv[1][0] != '\0') return argv[1];
+  return ".";
+}
+
+inline std::string join(const std::string& dir, const std::string& file) {
+  if (dir.empty() || dir == ".") return file;
+  if (dir.back() == '/') return dir + file;
+  return dir + "/" + file;
+}
+
+// Writes `<name>_report.json` under `dir` and prints where it went.
+inline void write_bench_report(
+    const std::string& dir, const std::string& name,
+    const std::vector<std::pair<std::string, obs::json::Value>>& meta = {}) {
+  const std::string path = join(dir, name + "_report.json");
+  if (obs::write_report(path, name, meta))
+    std::printf("(run report written to %s)\n", path.c_str());
+  else
+    std::fprintf(stderr, "warning: failed to write %s\n", path.c_str());
+}
+
+}  // namespace lac::bench_io

@@ -5,15 +5,18 @@
 // timing-feasible band (more violations, harder for LAC to fix); loose
 // clocks approach the unconstrained min-area solution.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
+#include "bench_io.h"
 #include "planner/interconnect_planner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lac;
+  const std::string out = bench_io::out_dir(argc, argv);
 
   std::printf("=== Clock-slack sweep: T_clk = T_min + f (T_init - T_min) ===\n\n");
   for (const char* name : {"y526", "y1269"}) {
@@ -38,5 +41,6 @@ int main() {
     }
     std::printf("%s\n", table.to_string().c_str());
   }
+  bench_io::write_bench_report(out, "clock_sweep");
   return 0;
 }

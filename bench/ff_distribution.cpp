@@ -6,14 +6,17 @@
 //     clock period and minimum clock period ... caused by the unbalanced
 //     distribution of flip-flops" — we report (T_init - T_min)/T_min.
 #include <cstdio>
+#include <string>
 
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
+#include "bench_io.h"
 #include "planner/interconnect_planner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lac;
+  const std::string out = bench_io::out_dir(argc, argv);
 
   std::printf("=== Flip-flop distribution & clock-period gap ===\n\n");
   TextTable table({"circuit", "N_F", "N_FN", "FF-in-wire %", "T_init(ps)",
@@ -48,5 +51,6 @@ int main() {
   std::printf("Largest T_init-vs-T_min gap: %.1f%%\n", gap_max);
   std::printf("Paper: ~10%% average, up to 30%%; some circuits show a large\n"
               "initial-vs-minimum clock period difference.\n");
+  bench_io::write_bench_report(out, "ff_distribution");
   return 0;
 }

@@ -10,10 +10,12 @@
 
 #include "base/table.h"
 #include "bench89/suite.h"
+#include "bench_io.h"
 #include "planner/interconnect_planner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lac;
+  const std::string out = bench_io::out_dir(argc, argv);
 
   std::printf("=== Planning-iteration convergence (floorplan expansion) ===\n\n");
   TextTable table({"circuit", "iter1:MA_FOA", "iter1:LAC_FOA", "iter2:LAC_FOA",
@@ -50,5 +52,6 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper: all circuits converge after <= 2 iterations except one\n"
               "(s1269, whose floorplan changes drastically on expansion).\n");
+  bench_io::write_bench_report(out, "iteration_convergence");
   return 0;
 }

@@ -12,14 +12,17 @@
 //                 even LAC + floorplan expansion struggles — the s1269
 //                 pathology of the paper.
 #include <cstdio>
+#include <string>
 
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
+#include "bench_io.h"
 #include "planner/interconnect_planner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lac;
+  const std::string out = bench_io::out_dir(argc, argv);
 
   const std::vector<const char*> circuits{"y298", "y526", "y838", "y1269"};
   std::printf("=== Register-provisioning sweep ===\n\n");
@@ -46,5 +49,6 @@ int main() {
                           : "N/A"});
   }
   std::printf("%s\n", table.to_string().c_str());
+  bench_io::write_bench_report(out, "provision_sweep");
   return 0;
 }

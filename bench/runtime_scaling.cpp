@@ -10,7 +10,10 @@
 //     BM_BuildConstraints/pruned vs /full.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "base/rng.h"
+#include "bench_io.h"
 #include "bench89/suite.h"
 #include "netlist/generator.h"
 #include "partition/fm.h"
@@ -116,4 +119,21 @@ BENCHMARK(BM_FullPlan)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): an optional leading positional
+// argument selects the report output directory (shifted away before
+// google-benchmark parses its own --benchmark_* flags), and an
+// observability run report is written after the benchmarks finish.
+int main(int argc, char** argv) {
+  std::string out = ".";
+  if (argc > 1 && argv[1][0] != '-') {
+    out = argv[1];
+    for (int i = 1; i + 1 < argc; ++i) argv[i] = argv[i + 1];
+    --argc;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lac::bench_io::write_bench_report(out, "runtime_scaling");
+  return 0;
+}

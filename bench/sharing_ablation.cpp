@@ -4,18 +4,21 @@
 // suite at T_min: how many registers does each objective report, and how
 // much does the per-edge model overstate the physical register count?
 #include <cstdio>
+#include <string>
 
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
+#include "bench_io.h"
 #include "retime/apply.h"
 #include "retime/constraints.h"
 #include "retime/min_area.h"
 #include "retime/sharing.h"
 #include "retime/wd_matrices.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lac;
+  const std::string out = bench_io::out_dir(argc, argv);
 
   std::printf("=== Per-edge vs register-sharing min-area retiming ===\n\n");
   TextTable table({"circuit", "T_min(ps)", "edge-obj N_F", "its shared cost",
@@ -52,5 +55,6 @@ int main() {
       "accounting) overstates the physically required registers whenever\n"
       "multi-fanout vertices carry registers; the sharing-aware optimiser\n"
       "bounds the real hardware cost from below.\n");
+  bench_io::write_bench_report(out, "sharing_ablation");
   return 0;
 }

@@ -19,13 +19,16 @@
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
+#include "bench_io.h"
 #include "planner/interconnect_planner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lac;
+  const std::string out = bench_io::out_dir(argc, argv);
 
   std::printf("=== Table 1: Min-Area Retiming vs LAC-Retiming ===\n\n");
-  std::ofstream csv("table1.csv");
+  const std::string csv_path = bench_io::join(out, "table1.csv");
+  std::ofstream csv(csv_path);
   csv << "circuit,t_clk_ps,t_init_ps,ma_n_foa,ma_n_f,ma_n_fn,ma_t_s,"
          "lac_n_foa,lac_n_foa_iter2,lac_n_f,lac_n_fn,n_wr,lac_t_s\n";
   TextTable table({"circuit", "Tclk(ps)", "Tinit(ps)",
@@ -90,7 +93,7 @@ int main() {
   }
 
   std::printf("%s\n", table.to_string().c_str());
-  std::printf("(machine-readable copy written to table1.csv)\n\n");
+  std::printf("(machine-readable copy written to %s)\n\n", csv_path.c_str());
   if (decrease_count > 0)
     std::printf("Average N_FOA decrease over circuits with violations: %.0f%%"
                 "   (paper: 84%%)\n",
@@ -100,5 +103,13 @@ int main() {
                 total_ma_foa, total_lac_foa,
                 100.0 * static_cast<double>(total_ma_foa - total_lac_foa) /
                     static_cast<double>(total_ma_foa));
+  bench_io::write_bench_report(
+      out, "table1",
+      {{"avg_n_foa_decrease_pct",
+        obs::json::Value::of(decrease_count > 0
+                                 ? decrease_sum / decrease_count
+                                 : 0.0)},
+       {"total_min_area_n_foa", obs::json::Value::of(total_ma_foa)},
+       {"total_lac_n_foa", obs::json::Value::of(total_lac_foa)}});
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "bench89/suite.h"
 #include "netlist/bench_io.h"
+#include "obs/report.h"
 #include "planner/interconnect_planner.h"
 
 int main(int argc, char** argv) {
@@ -71,6 +72,39 @@ int main(int argc, char** argv) {
   const double p_lac = result.graph.period_after_ps(result.lac.r);
   std::printf("\nverified periods: min-area %.1f ps, LAC %.1f ps (<= %.1f)\n",
               p_ma, p_lac, result.t_clk_ps);
+
+  // Every plan() run leaves a trace behind: write the structured run
+  // report, then read it back to show how downstream tooling consumes one.
+  const std::string report_path = "quickstart_report.json";
+  if (obs::write_report(report_path, "quickstart",
+                        {{"circuit", obs::json::Value::of(nl.name())}})) {
+    std::printf("\n--- run report (%s) ---\n", report_path.c_str());
+    const auto doc = obs::json::parse_file(report_path);
+    if (doc) {
+      if (const auto* trace = doc->find("trace");
+          trace && trace->is_array() && !trace->array.empty()) {
+        const auto& root = trace->array.front();
+        const auto* name = root.find("name");
+        const auto* seconds = root.find("seconds");
+        const auto* children = root.find("children");
+        std::printf("root span: %s (%.3f s), %zu child spans\n",
+                    name ? name->str.c_str() : "?",
+                    seconds ? seconds->num : 0.0,
+                    children ? children->array.size() : std::size_t{0});
+        if (children)
+          for (const auto& c : children->array) {
+            const auto* cn = c.find("name");
+            const auto* cs = c.find("seconds");
+            std::printf("  %-24s %.4f s\n", cn ? cn->str.c_str() : "?",
+                        cs ? cs->num : 0.0);
+          }
+      }
+      if (const auto* augment =
+              doc->at_path({"metrics", "counters", "mcf.augmentations"}))
+        std::printf("min-cost-flow augmentations (whole run): %lld\n",
+                    static_cast<long long>(augment->num));
+    }
+  }
   return (p_ma <= result.t_clk_ps + 0.05 && p_lac <= result.t_clk_ps + 0.05)
              ? 0
              : 1;

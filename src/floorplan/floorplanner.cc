@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "base/check.h"
 #include "base/rng.h"
+#include "base/str_util.h"
 #include "floorplan/sequence_pair.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace lac::floorplan {
 
@@ -46,6 +50,8 @@ Floorplan floorplan_blocks(std::vector<BlockSpec> blocks,
                            const FloorplanOptions& opt) {
   const int n = static_cast<int>(blocks.size());
   LAC_CHECK(n >= 1);
+  obs::Span span("floorplan.anneal");
+  span.annotate("blocks", n);
   Rng rng(opt.seed ^ 0xF10077ULL);
 
   SequencePair sp = SequencePair::identity(n);
@@ -91,9 +97,15 @@ Floorplan floorplan_blocks(std::vector<BlockSpec> blocks,
     if (avg_delta <= 0) avg_delta = std::max(1.0, cost * 0.01);
   }
   double temp = -avg_delta / std::log(opt.initial_accept_prob);
+  const double temp0 = temp;
+  const double initial_cost = cost;
 
   const int moves_per_temp = std::max(10, 4 * n);
   const int total_moves = std::max(200, opt.sa_moves_per_block * n);
+  int accepted_total = 0;
+  int accepted_stage = 0;
+  std::vector<double> accept_trajectory;  // accept rate per cooling stage
+  std::vector<double> temp_trajectory;
   for (int move = 0; move < total_moves; ++move) {
     SequencePair trial = sp;
     std::vector<double> trial_aspect = aspect;
@@ -132,13 +144,23 @@ Floorplan floorplan_blocks(std::vector<BlockSpec> blocks,
       sp = std::move(trial);
       aspect = std::move(trial_aspect);
       cost = trial_cost;
+      ++accepted_total;
+      ++accepted_stage;
       if (cost < best_cost) {
         best_cost = cost;
         best_sp = sp;
         best_aspect = aspect;
       }
     }
-    if ((move + 1) % moves_per_temp == 0) temp *= opt.cooling;
+    if ((move + 1) % moves_per_temp == 0) {
+      const double rate =
+          static_cast<double>(accepted_stage) / moves_per_temp;
+      accept_trajectory.push_back(rate);
+      temp_trajectory.push_back(temp);
+      obs::observe("floorplan.stage_accept_rate", rate);
+      accepted_stage = 0;
+      temp *= opt.cooling;
+    }
   }
 
   // Final packing of the best state, then spread to realise whitespace.
@@ -180,6 +202,37 @@ Floorplan floorplan_blocks(std::vector<BlockSpec> blocks,
     r.hi.y += margin / 2;
   }
   fp.whitespace_fraction = 1.0 - block_area / fp.chip.area();
+
+  if (span.recording()) {
+    span.annotate("moves", total_moves);
+    span.annotate("accepted", accepted_total);
+    span.annotate("accept_rate",
+                  static_cast<double>(accepted_total) / total_moves);
+    span.annotate("temp0", temp0);
+    span.annotate("temp_final", temp);
+    span.annotate("initial_cost", initial_cost);
+    span.annotate("best_cost", best_cost);
+    span.annotate("whitespace_fraction", fp.whitespace_fraction);
+    span.annotate("chip_w", fp.chip.width());
+    span.annotate("chip_h", fp.chip.height());
+    // Cooling trajectory, evenly sampled down to at most 64 points so the
+    // annotation stays bounded for large designs.
+    const std::size_t stages = accept_trajectory.size();
+    const std::size_t step = std::max<std::size_t>(1, (stages + 63) / 64);
+    std::string accept_str, temp_str;
+    for (std::size_t s = 0; s < stages; s += step) {
+      if (!accept_str.empty()) {
+        accept_str += ',';
+        temp_str += ',';
+      }
+      accept_str += format_double(accept_trajectory[s], 3);
+      temp_str += format_double(temp_trajectory[s], 3);
+    }
+    span.annotate("accept_rate_trajectory", accept_str);
+    span.annotate("temp_trajectory", temp_str);
+  }
+  obs::count("floorplan.anneals");
+  obs::count("floorplan.moves", total_moves);
 
   // Invariant: pairwise disjoint interiors.
   for (int a = 0; a < n; ++a)

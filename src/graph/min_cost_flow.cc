@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace lac::graph {
 
@@ -45,8 +47,7 @@ void MinCostFlow::add_supply(int node, std::int64_t delta) {
   supply_[static_cast<std::size_t>(node)] += delta;
 }
 
-std::optional<std::vector<std::int64_t>> MinCostFlow::initial_potentials()
-    const {
+std::optional<std::vector<std::int64_t>> MinCostFlow::initial_potentials() {
   // SPFA from a virtual source connected to every node with 0-cost arcs,
   // over residual arcs that currently have capacity.  More than n
   // relaxations of one node certifies a negative cycle (unbounded LP).
@@ -67,6 +68,7 @@ std::optional<std::vector<std::int64_t>> MinCostFlow::initial_potentials()
           dist[static_cast<std::size_t>(u)] + arc_cost_[static_cast<std::size_t>(a)];
       if (nd < dist[static_cast<std::size_t>(v)]) {
         dist[static_cast<std::size_t>(v)] = nd;
+        ++stats_.spfa_relaxations;
         if (++relax_count[static_cast<std::size_t>(v)] > n_)
           return std::nullopt;
         if (!in_queue[static_cast<std::size_t>(v)]) {
@@ -86,8 +88,30 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
     LAC_CHECK_MSG(total == 0, "supplies must sum to zero, got " << total);
   }
 
+  stats_ = {};
+  obs::Span span("mcf.solve");
+  span.annotate("nodes", n_);
+  span.annotate("arcs", num_arcs());
+  const auto finish = [&](bool feasible) {
+    span.annotate("feasible", feasible);
+    span.annotate("augmentations", stats_.augmentations);
+    span.annotate("dijkstra_pops", stats_.dijkstra_pops);
+    span.annotate("arcs_relaxed", stats_.arcs_relaxed);
+    span.annotate("spfa_relaxations", stats_.spfa_relaxations);
+    span.annotate("flow_shipped", stats_.flow_shipped);
+    obs::count("mcf.solves");
+    if (!feasible) obs::count("mcf.infeasible_solves");
+    obs::count("mcf.augmentations", stats_.augmentations);
+    obs::count("mcf.arcs_relaxed", stats_.arcs_relaxed);
+    obs::count("mcf.spfa_relaxations", stats_.spfa_relaxations);
+    obs::observe("mcf.solve_seconds", span.elapsed_seconds());
+  };
+
   auto pot = initial_potentials();
-  if (!pot) return std::nullopt;  // negative cycle: unbounded
+  if (!pot) {
+    finish(false);
+    return std::nullopt;  // negative cycle: unbounded
+  }
   std::vector<std::int64_t> pi = std::move(*pot);
 
   std::vector<std::int64_t> excess = supply_;
@@ -113,6 +137,7 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
       while (!heap.empty()) {
         const auto [d, u] = heap.top();
         heap.pop();
+        ++stats_.dijkstra_pops;
         if (d != dist[static_cast<std::size_t>(u)]) continue;
         if (excess[static_cast<std::size_t>(u)] < 0 && sink == -1) {
           sink = u;
@@ -124,6 +149,7 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
         if (sink != -1 && d > sink_dist) break;
         for (const int a : out_[static_cast<std::size_t>(u)]) {
           if (arc_cap_[static_cast<std::size_t>(a)] <= 0) continue;
+          ++stats_.arcs_relaxed;
           const int v = arc_to_[static_cast<std::size_t>(a)];
           const std::int64_t rc = arc_cost_[static_cast<std::size_t>(a)] +
                                   pi[static_cast<std::size_t>(u)] -
@@ -140,7 +166,10 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
       // Drain any leftover heap entries before the next iteration.
       while (!heap.empty()) heap.pop();
 
-      if (sink == -1) return std::nullopt;  // cannot route: infeasible
+      if (sink == -1) {
+        finish(false);
+        return std::nullopt;  // cannot route: infeasible
+      }
 
       // Update potentials so reduced costs stay nonnegative.  Nodes not
       // settled keep their potential but must not be used until re-reached;
@@ -169,8 +198,11 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
       }
       excess[static_cast<std::size_t>(source)] -= push;
       excess[static_cast<std::size_t>(sink)] += push;
+      ++stats_.augmentations;
+      stats_.flow_shipped += push;
     }
   }
+  finish(true);
 
   Solution sol;
   sol.total_cost = static_cast<double>(total_cost);

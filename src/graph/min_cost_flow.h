@@ -54,6 +54,17 @@ class MinCostFlow {
   // routed) or unbounded (negative cycle of infinite-capacity arcs).
   [[nodiscard]] std::optional<Solution> solve();
 
+  // Solver internals of the most recent solve() call — the augmentation
+  // and relaxation counts the observability layer reports.
+  struct SolveStats {
+    int augmentations = 0;          // shortest-path phases that shipped flow
+    long long dijkstra_pops = 0;    // heap extractions across all phases
+    long long arcs_relaxed = 0;     // residual arcs scanned (Dijkstra phase)
+    long long spfa_relaxations = 0; // Bellman–Ford (SPFA) phase relaxations
+    std::int64_t flow_shipped = 0;  // total units pushed along paths
+  };
+  [[nodiscard]] const SolveStats& stats() const { return stats_; }
+
   [[nodiscard]] int num_nodes() const { return n_; }
   [[nodiscard]] int num_arcs() const { return static_cast<int>(arc_to_.size()) / 2; }
 
@@ -65,10 +76,10 @@ class MinCostFlow {
   std::vector<std::int64_t> arc_cost_;
   std::vector<std::vector<int>> out_;   // node -> residual arc indices
   std::vector<std::int64_t> supply_;
+  SolveStats stats_;
 
   // Bellman–Ford over residual arcs with cap > 0; nullopt on negative cycle.
-  [[nodiscard]] std::optional<std::vector<std::int64_t>> initial_potentials()
-      const;
+  [[nodiscard]] std::optional<std::vector<std::int64_t>> initial_potentials();
 };
 
 }  // namespace lac::graph

@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/obs.h"
+
+namespace lac::obs {
+
+double HistogramSnapshot::bucket_bound(int i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, i - 10);
+}
+
+Metrics& Metrics::instance() {
+  static Metrics m;
+  return m;
+}
+
+void Metrics::add_counter(std::string_view name, std::int64_t delta) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void Metrics::set_gauge(std::string_view name, double value) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    gauges_.emplace(std::string(name), value);
+  else
+    it->second = value;
+}
+
+void Metrics::observe(std::string_view name, double value) {
+  std::lock_guard lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end())
+    it = hists_.emplace(std::string(name), HistogramSnapshot{}).first;
+  HistogramSnapshot& h = it->second;
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  const double v = std::max(value, 0.0);
+  int b = 0;
+  while (b < HistogramSnapshot::kNumBuckets - 1 &&
+         v > HistogramSnapshot::bucket_bound(b))
+    ++b;
+  ++h.buckets[static_cast<std::size_t>(b)];
+}
+
+std::int64_t Metrics::counter(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::optional<double> Metrics::gauge(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<HistogramSnapshot> Metrics::histogram(
+    std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const auto it = hists_.find(name);
+  if (it == hists_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Metrics::counters() const {
+  std::lock_guard lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, double>> Metrics::gauges() const {
+  std::lock_guard lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> Metrics::histograms()
+    const {
+  std::lock_guard lock(mu_);
+  return {hists_.begin(), hists_.end()};
+}
+
+void Metrics::reset() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+}
+
+void count(const char* name, std::int64_t delta) {
+  if (!enabled()) return;
+  Metrics::instance().add_counter(name, delta);
+}
+
+void gauge(const char* name, double value) {
+  if (!enabled()) return;
+  Metrics::instance().set_gauge(name, value);
+}
+
+void observe(const char* name, double value) {
+  if (!enabled()) return;
+  Metrics::instance().observe(name, value);
+}
+
+}  // namespace lac::obs

@@ -1,0 +1,75 @@
+// Process-wide metrics registry: named counters, gauges and histograms.
+//
+// The registry is a mutex-protected singleton — planner instrumentation
+// events are coarse (per solve, per round, per net), so contention is not
+// a concern; what matters is the disabled path.  The free functions
+// count()/gauge()/observe() check obs::enabled() before touching the
+// registry and take const char* names, so a disabled build performs no
+// allocation and no locking on the hot path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lac::obs {
+
+struct HistogramSnapshot {
+  static constexpr int kNumBuckets = 24;
+
+  // Upper bound of bucket i: 2^(i-10) (≈1e-3 .. 4096), last bucket +inf.
+  // Cumulative ("le") semantics are applied at report time; the stored
+  // buckets are disjoint.
+  [[nodiscard]] static double bucket_bound(int i);
+
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::int64_t, kNumBuckets> buckets{};
+};
+
+class Metrics {
+ public:
+  // The process-wide registry used by count()/gauge()/observe().
+  static Metrics& instance();
+
+  void add_counter(std::string_view name, std::int64_t delta);
+  void set_gauge(std::string_view name, double value);
+  void observe(std::string_view name, double value);
+
+  // Point queries (0 / nullopt when absent).
+  [[nodiscard]] std::int64_t counter(std::string_view name) const;
+  [[nodiscard]] std::optional<double> gauge(std::string_view name) const;
+  [[nodiscard]] std::optional<HistogramSnapshot> histogram(
+      std::string_view name) const;
+
+  // Sorted snapshots for report serialisation.
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> counters()
+      const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
+  histograms() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, HistogramSnapshot, std::less<>> hists_;
+};
+
+// Convenience wrappers on Metrics::instance().  No-ops — with no
+// allocation and no lock — when obs::enabled() is false.
+void count(const char* name, std::int64_t delta = 1);
+void gauge(const char* name, double value);
+void observe(const char* name, double value);
+
+}  // namespace lac::obs

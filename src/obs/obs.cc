@@ -1,0 +1,33 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace lac::obs {
+
+namespace {
+
+bool env_default() {
+  const char* v = std::getenv("LAC_OBS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+           std::strcmp(v, "off") == 0 || std::strcmp(v, "no") == 0);
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> g{env_default()};
+  return g;
+}
+
+}  // namespace
+
+bool enabled() { return flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { flag().store(on, std::memory_order_relaxed); }
+
+ScopedEnable::ScopedEnable(bool on) : prev_(enabled()) { set_enabled(on); }
+
+ScopedEnable::~ScopedEnable() { set_enabled(prev_); }
+
+}  // namespace lac::obs

@@ -1,0 +1,129 @@
+#include "obs/report.h"
+
+#include <fstream>
+
+#include "obs/obs.h"
+
+namespace lac::obs {
+
+namespace {
+
+json::Value annotation_to_json(const Annotation& a) {
+  switch (a.kind) {
+    case Annotation::Kind::kString: return json::Value::of(a.s);
+    case Annotation::Kind::kDouble: return json::Value::of(a.d);
+    case Annotation::Kind::kInt: return json::Value::of(a.i);
+    case Annotation::Kind::kBool: return json::Value::of(a.b);
+  }
+  return {};
+}
+
+json::Value histogram_to_json(const HistogramSnapshot& h) {
+  json::Value v;
+  v.kind = json::Value::Kind::kObject;
+  v.object.emplace_back("count", json::Value::of(h.count));
+  v.object.emplace_back("sum", json::Value::of(h.sum));
+  v.object.emplace_back("min", json::Value::of(h.min));
+  v.object.emplace_back("max", json::Value::of(h.max));
+  json::Value buckets;
+  buckets.kind = json::Value::Kind::kArray;
+  for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    if (h.buckets[static_cast<std::size_t>(i)] == 0) continue;  // sparse
+    json::Value b;
+    b.kind = json::Value::Kind::kObject;
+    b.object.emplace_back("le",
+                          json::Value::of(HistogramSnapshot::bucket_bound(i)));
+    b.object.emplace_back(
+        "count", json::Value::of(h.buckets[static_cast<std::size_t>(i)]));
+    buckets.array.push_back(std::move(b));
+  }
+  v.object.emplace_back("buckets", std::move(buckets));
+  return v;
+}
+
+}  // namespace
+
+json::Value span_to_json(const SpanNode& node) {
+  json::Value v;
+  v.kind = json::Value::Kind::kObject;
+  v.object.emplace_back("name", json::Value::of(node.name));
+  v.object.emplace_back("seconds", json::Value::of(node.seconds));
+  if (!node.annotations.empty()) {
+    json::Value ann;
+    ann.kind = json::Value::Kind::kObject;
+    for (const Annotation& a : node.annotations)
+      ann.object.emplace_back(a.key, annotation_to_json(a));
+    v.object.emplace_back("annotations", std::move(ann));
+  }
+  if (!node.children.empty()) {
+    json::Value kids;
+    kids.kind = json::Value::Kind::kArray;
+    for (const SpanNode& c : node.children)
+      kids.array.push_back(span_to_json(c));
+    v.object.emplace_back("children", std::move(kids));
+  }
+  return v;
+}
+
+json::Value build_report(
+    std::string_view name,
+    const std::vector<std::pair<std::string, json::Value>>& meta) {
+  json::Value root;
+  root.kind = json::Value::Kind::kObject;
+  root.object.emplace_back("schema", json::Value::of("lac-obs-report/1"));
+  root.object.emplace_back("name", json::Value::of(name));
+  root.object.emplace_back("obs_enabled", json::Value::of(enabled()));
+
+  json::Value meta_obj;
+  meta_obj.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : meta) meta_obj.object.emplace_back(k, v);
+  root.object.emplace_back("meta", std::move(meta_obj));
+
+  json::Value trace;
+  trace.kind = json::Value::Kind::kArray;
+  for (const SpanNode& span : take_finished_roots())
+    trace.array.push_back(span_to_json(span));
+  root.object.emplace_back("trace", std::move(trace));
+
+  const Metrics& m = Metrics::instance();
+  json::Value metrics;
+  metrics.kind = json::Value::Kind::kObject;
+  json::Value counters;
+  counters.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : m.counters())
+    counters.object.emplace_back(k, json::Value::of(v));
+  metrics.object.emplace_back("counters", std::move(counters));
+  json::Value gauges;
+  gauges.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : m.gauges())
+    gauges.object.emplace_back(k, json::Value::of(v));
+  metrics.object.emplace_back("gauges", std::move(gauges));
+  json::Value hists;
+  hists.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : m.histograms())
+    hists.object.emplace_back(k, histogram_to_json(v));
+  metrics.object.emplace_back("histograms", std::move(hists));
+  root.object.emplace_back("metrics", std::move(metrics));
+
+  root.object.emplace_back("dropped_root_spans",
+                           json::Value::of(dropped_roots()));
+  return root;
+}
+
+std::string render_report(
+    std::string_view name,
+    const std::vector<std::pair<std::string, json::Value>>& meta) {
+  return json::serialize(build_report(name, meta));
+}
+
+bool write_report(
+    const std::string& path, std::string_view name,
+    const std::vector<std::pair<std::string, json::Value>>& meta) {
+  const std::string text = render_report(name, meta);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace lac::obs

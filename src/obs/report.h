@@ -1,0 +1,57 @@
+// Structured JSON run reports: the span tree + metrics registry snapshot
+// serialised into one machine-readable document.
+//
+// Schema ("lac-obs-report/1"):
+//   {
+//     "schema": "lac-obs-report/1",
+//     "name": <report name>,
+//     "obs_enabled": <bool>,             // switch state at build time
+//     "meta": { <caller-supplied> },
+//     "trace": [ <span>... ],            // finished root spans (drained)
+//     "metrics": {
+//       "counters":   { name: int, ... },
+//       "gauges":     { name: number, ... },
+//       "histograms": { name: {count, sum, min, max,
+//                              buckets: [{le, count}, ...]}, ... }
+//     },
+//     "dropped_root_spans": <int>
+//   }
+// where <span> = {"name", "seconds", "annotations": {k: v}, "children":
+// [<span>...]}.
+//
+// Building a report *drains* the finished-root-span store, so successive
+// reports partition the trace rather than repeating it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace lac::obs {
+
+// One span tree as a json::Value (see schema above).
+[[nodiscard]] json::Value span_to_json(const SpanNode& node);
+
+// Snapshot of everything observed so far.  `meta` entries are emitted
+// verbatim under "meta".
+[[nodiscard]] json::Value build_report(
+    std::string_view name,
+    const std::vector<std::pair<std::string, json::Value>>& meta = {});
+
+// build_report() serialised to text.
+[[nodiscard]] std::string render_report(
+    std::string_view name,
+    const std::vector<std::pair<std::string, json::Value>>& meta = {});
+
+// Renders and writes the report to `path`; false on I/O failure (the
+// trace is drained either way).
+bool write_report(
+    const std::string& path, std::string_view name,
+    const std::vector<std::pair<std::string, json::Value>>& meta = {});
+
+}  // namespace lac::obs

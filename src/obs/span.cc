@@ -1,0 +1,111 @@
+#include "obs/span.h"
+
+#include <mutex>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace lac::obs {
+
+namespace {
+
+// Safety cap for processes that record forever without draining (e.g.
+// google-benchmark loops running plan() thousands of times).
+constexpr std::size_t kMaxRoots = 4096;
+
+thread_local Span* tl_current = nullptr;
+
+std::mutex g_roots_mu;
+std::vector<SpanNode> g_roots;
+std::int64_t g_dropped = 0;
+
+}  // namespace
+
+const SpanNode* SpanNode::find_child(std::string_view child_name) const {
+  for (const SpanNode& c : children)
+    if (c.name == child_name) return &c;
+  return nullptr;
+}
+
+const Annotation* SpanNode::find_annotation(std::string_view key) const {
+  for (const Annotation& a : annotations)
+    if (a.key == key) return &a;
+  return nullptr;
+}
+
+Span::Span(std::string_view name) : t0_(std::chrono::steady_clock::now()) {
+  if (!enabled()) return;
+  node_ = new SpanNode;
+  node_->name.assign(name);
+  parent_ = tl_current;
+  tl_current = this;
+}
+
+Span::~Span() {
+  if (node_ == nullptr) return;
+  node_->seconds = elapsed_seconds();
+  if (tl_current == this) tl_current = parent_;
+  if (parent_ != nullptr && parent_->node_ != nullptr) {
+    parent_->node_->children.push_back(std::move(*node_));
+  } else {
+    std::lock_guard lock(g_roots_mu);
+    if (g_roots.size() < kMaxRoots)
+      g_roots.push_back(std::move(*node_));
+    else
+      ++g_dropped;
+  }
+  delete node_;
+}
+
+void Span::annotate(std::string_view key, std::string_view value) {
+  if (node_ == nullptr) return;
+  Annotation a;
+  a.key.assign(key);
+  a.kind = Annotation::Kind::kString;
+  a.s.assign(value);
+  node_->annotations.push_back(std::move(a));
+}
+
+void Span::annotate(std::string_view key, double value) {
+  if (node_ == nullptr) return;
+  Annotation a;
+  a.key.assign(key);
+  a.kind = Annotation::Kind::kDouble;
+  a.d = value;
+  node_->annotations.push_back(std::move(a));
+}
+
+void Span::annotate(std::string_view key, std::int64_t value) {
+  if (node_ == nullptr) return;
+  Annotation a;
+  a.key.assign(key);
+  a.kind = Annotation::Kind::kInt;
+  a.i = value;
+  node_->annotations.push_back(std::move(a));
+}
+
+void Span::annotate(std::string_view key, bool value) {
+  if (node_ == nullptr) return;
+  Annotation a;
+  a.key.assign(key);
+  a.kind = Annotation::Kind::kBool;
+  a.b = value;
+  node_->annotations.push_back(std::move(a));
+}
+
+double Span::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+std::vector<SpanNode> take_finished_roots() {
+  std::lock_guard lock(g_roots_mu);
+  return std::exchange(g_roots, {});
+}
+
+std::int64_t dropped_roots() {
+  std::lock_guard lock(g_roots_mu);
+  return g_dropped;
+}
+
+}  // namespace lac::obs

@@ -1,12 +1,14 @@
 #include "planner/interconnect_planner.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "partition/fm.h"
 #include "retime/collapse.h"
 #include "retime/min_area.h"
@@ -15,12 +17,6 @@
 namespace lac::planner {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
 
 double cell_area_of(const netlist::Netlist& nl, netlist::CellId c,
                     const timing::Technology& tech) {
@@ -58,14 +54,28 @@ InterconnectPlanner::InterconnectPlanner(PlannerConfig config)
 }
 
 PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
+  std::optional<obs::ScopedEnable> obs_override;
+  if (config_.observability != obs::Override::kEnv)
+    obs_override.emplace(config_.observability == obs::Override::kOn);
+  obs::Span span("planner.plan");
+  span.annotate("circuit", nl.name());
+  span.annotate("cells", nl.num_cells());
+  span.annotate("blocks", config_.num_blocks);
+  obs::count("planner.plans");
+
   // 1. Partition cells into circuit blocks.
   std::vector<double> cell_area(static_cast<std::size_t>(nl.num_cells()));
   for (const auto c : nl.cells())
     cell_area[c.index()] = cell_area_of(nl, c, config_.tech);
   partition::FmOptions fm_opt;
   fm_opt.seed = config_.seed;
-  const auto part =
-      partition::partition_netlist(nl, cell_area, config_.num_blocks, fm_opt);
+  const auto part = [&] {
+    obs::Span stage("stage.partition");
+    auto p = partition::partition_netlist(nl, cell_area, config_.num_blocks,
+                                          fm_opt);
+    stage.annotate("cut", p.cut);
+    return p;
+  }();
 
   // 2. Size blocks (cells + slack) and floorplan.  Every
   // ceil(1/hard_fraction)-th block becomes a hard macro.
@@ -94,16 +104,23 @@ PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
   }
   floorplan::FloorplanOptions fp_opt = config_.fp_opt;
   fp_opt.seed = config_.seed;
-  auto fp = floorplan::floorplan_blocks(std::move(specs), fp_opt);
+  auto fp = [&] {
+    obs::Span stage("stage.floorplan");
+    return floorplan::floorplan_blocks(std::move(specs), fp_opt);
+  }();
 
   auto result = plan_on_floorplan(nl, part.block_of, std::move(fp));
   result.circuit = nl.name();
+  span.annotate("t_clk_ps", result.t_clk_ps);
+  span.annotate("lac_n_foa", result.lac.report.n_foa);
+  span.annotate("lac_n_wr", result.lac.n_wr);
   return result;
 }
 
 PlanResult InterconnectPlanner::plan_on_floorplan(
     const netlist::Netlist& nl, std::vector<int> block_of,
     floorplan::Floorplan fp) const {
+  obs::Span iter_span("planner.iteration");
   PlanResult res;
   res.circuit = nl.name();
   res.block_of = std::move(block_of);
@@ -126,10 +143,18 @@ PlanResult InterconnectPlanner::plan_on_floorplan(
       used[static_cast<std::size_t>(res.block_of[c.index()])] +=
           cell_area_of(nl, c, config_.tech);
 
-  res.grid.emplace(res.fp, used, config_.tile_opt);
+  {
+    obs::Span stage("stage.tile_grid");
+    res.grid.emplace(res.fp, used, config_.tile_opt);
+    stage.annotate("tiles", res.grid->num_tiles());
+    stage.annotate("nx", res.grid->nx());
+    stage.annotate("ny", res.grid->ny());
+  }
   tile::TileGrid& grid = *res.grid;
 
   // 3. Collapse registers and set up one routing request per driver.
+  std::optional<obs::Span> collapse_span;
+  collapse_span.emplace("stage.collapse_nets");
   const auto connections = retime::collapse_registers(nl);
   struct NetInfo {
     route::Cell source;
@@ -160,21 +185,34 @@ PlanResult InterconnectPlanner::plan_on_floorplan(
     requests.push_back({net.source, net.sinks});
     request_driver.push_back(driver);
   }
+  collapse_span->annotate("connections", connections.size());
+  collapse_span->annotate("nets", requests.size());
+  collapse_span.reset();
 
   // 4. Global routing + repeater planning.
   route::GlobalRouter router(grid, config_.route_opt);
-  const auto trees = router.route_all(requests);
+  const auto trees = [&] {
+    obs::Span stage("stage.global_route");
+    return router.route_all(requests);
+  }();
   res.routing = router.stats();
 
   repeater::RepeaterPlanner rep(grid, config_.tech, config_.repeater_opt);
   std::vector<repeater::BufferedNet> buffered;
-  buffered.reserve(trees.size());
-  for (const auto& t : trees)
-    buffered.push_back(
-        rep.plan(t, config_.tech.gate_out_res, config_.tech.gate_in_cap));
+  {
+    obs::Span stage("stage.repeaters");
+    buffered.reserve(trees.size());
+    for (const auto& t : trees)
+      buffered.push_back(
+          rep.plan(t, config_.tech.gate_out_res, config_.tech.gate_in_cap));
+    stage.annotate("repeaters", rep.repeaters_inserted());
+    stage.annotate("area_consumed", rep.area_consumed());
+  }
   res.repeaters = rep.repeaters_inserted();
 
   // 5. Build the retiming graph.
+  std::optional<obs::Span> graph_span;
+  graph_span.emplace("stage.build_graph");
   auto& g = res.graph;
   std::vector<int> vtx(static_cast<std::size_t>(nl.num_cells()), -1);
   for (const auto c : nl.cells()) {
@@ -238,8 +276,13 @@ PlanResult InterconnectPlanner::plan_on_floorplan(
     g.add_edge(tail, vv, conn.w);
   }
 
+  graph_span->annotate("vertices", g.num_vertices());
+  graph_span->annotate("interconnect_units", res.interconnect_units);
+  graph_span.reset();
+
   // 6. Timing landmarks.
-  const auto t_wd0 = Clock::now();
+  std::optional<obs::Span> timing_span;
+  timing_span.emplace("stage.timing");
   const auto wd = retime::WdMatrices::compute(g);
   res.t_init_ps = wd.t_init_ps();
   res.t_min_ps = retime::min_period_retiming(g, wd);
@@ -250,28 +293,42 @@ PlanResult InterconnectPlanner::plan_on_floorplan(
   const auto cs = retime::build_constraints(g, wd, t_clk_decips);
   res.clock_constraints = cs.clock.size();
   res.clock_constraints_unpruned = cs.clock_before_pruning;
-  res.constraint_gen_seconds = seconds_since(t_wd0);
+  res.constraint_gen_seconds = timing_span->elapsed_seconds();
+  timing_span->annotate("t_init_ps", res.t_init_ps);
+  timing_span->annotate("t_min_ps", res.t_min_ps);
+  timing_span->annotate("t_clk_ps", res.t_clk_ps);
+  timing_span->annotate("clock_constraints", res.clock_constraints);
+  timing_span->annotate("clock_constraints_unpruned",
+                        res.clock_constraints_unpruned);
+  timing_span.reset();
 
   // 7. Baseline: plain min-area retiming at T_clk.
   {
-    const auto t0 = Clock::now();
+    obs::Span stage("stage.min_area_retiming");
     auto r = retime::min_area_retiming(g, cs);
     LAC_CHECK_MSG(r.has_value(), "T_clk >= T_min must be feasible");
     res.min_area.r = std::move(*r);
     res.min_area.report =
         retime::place_flipflops(g, grid, res.min_area.r, config_.tech.dff_area);
-    res.min_area.exec_seconds = seconds_since(t0);
+    res.min_area.exec_seconds = stage.elapsed_seconds();
     res.min_area.n_wr = 1;
+    stage.annotate("n_foa", res.min_area.report.n_foa);
+    stage.annotate("n_f", res.min_area.report.n_f);
   }
 
   // 8. The contribution: LAC-retiming at T_clk.
   {
-    const auto t0 = Clock::now();
+    obs::Span stage("stage.lac_retiming");
     auto lac = retime::lac_retiming(g, grid, cs, config_.lac_opt);
     res.lac.r = std::move(lac.r);
     res.lac.report = std::move(lac.report);
     res.lac.n_wr = lac.n_wr;
-    res.lac.exec_seconds = seconds_since(t0);
+    res.lac.rounds = std::move(lac.rounds);
+    res.lac.exec_seconds = stage.elapsed_seconds();
+    stage.annotate("n_wr", res.lac.n_wr);
+    stage.annotate("n_foa", res.lac.report.n_foa);
+    stage.annotate("n_f", res.lac.report.n_f);
+    stage.annotate("met_all_constraints", res.lac.report.fits());
   }
   return res;
 }
@@ -282,6 +339,14 @@ std::optional<PlanResult> InterconnectPlanner::replan_expanded(
   const auto& grid = *prev.grid;
   const auto& rep = prev.lac.report;
   if (rep.fits()) return std::nullopt;
+
+  std::optional<obs::ScopedEnable> obs_override;
+  if (config_.observability != obs::Override::kEnv)
+    obs_override.emplace(config_.observability == obs::Override::kOn);
+  obs::Span span("planner.replan_expanded");
+  span.annotate("circuit", nl.name());
+  span.annotate("prev_tiles_violating", rep.tiles_violating);
+  obs::count("planner.replans");
 
   // Grow every violating soft block by 1.5x its overflow; violations in
   // channels or hard blocks translate into a higher whitespace target.
@@ -307,6 +372,9 @@ std::optional<PlanResult> InterconnectPlanner::replan_expanded(
   auto fp = floorplan::refloorplan_expanded(prev.fp, new_area, extra_ws, fp_opt);
   auto result = plan_on_floorplan(nl, prev.block_of, std::move(fp));
   result.circuit = nl.name();
+  span.annotate("extra_whitespace", extra_ws);
+  span.annotate("lac_n_foa", result.lac.report.n_foa);
+  span.annotate("met_all_constraints", result.lac.report.fits());
   return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "floorplan/floorplanner.h"
 #include "netlist/netlist.h"
+#include "obs/obs.h"
 #include "repeater/repeater_planner.h"
 #include "retime/constraints.h"
 #include "retime/ff_placement.h"
@@ -51,6 +52,12 @@ struct PlannerConfig {
   // T_clk = T_min + clock_slack_fraction * (T_init - T_min)   (paper: 0.2).
   double clock_slack_fraction = 0.2;
 
+  // Observability override for this planner's runs: kEnv defers to the
+  // LAC_OBS environment variable (the process-wide default), kOn/kOff
+  // force tracing + metrics on or off for the duration of plan() /
+  // replan_expanded().
+  obs::Override observability = obs::Override::kEnv;
+
   timing::Technology tech = timing::Technology::paper_default();
   floorplan::FloorplanOptions fp_opt;
   tile::TileGridOptions tile_opt;
@@ -65,6 +72,9 @@ struct RetimingOutcome {
   std::vector<int> r;
   double exec_seconds = 0.0;
   int n_wr = 1;  // weighted min-area solves (1 for the plain baseline)
+  // Per-round convergence history (LAC only; empty for the plain
+  // baseline).  rounds.size() == n_wr for the LAC outcome.
+  std::vector<retime::LacRoundStats> rounds;
 };
 
 struct PlanResult {

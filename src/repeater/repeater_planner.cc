@@ -5,6 +5,7 @@
 #include <set>
 
 #include "base/check.h"
+#include "obs/metrics.h"
 
 namespace lac::repeater {
 
@@ -97,6 +98,7 @@ BufferedNet RepeaterPlanner::plan(const route::RouteTree& tree,
           grid_.consume(tid, tech_.repeater_area);
           area_consumed_ += tech_.repeater_area;
           ++repeaters_inserted_;
+          obs::count("repeater.inserted");
         }
         // Distance now measured from the repeater.
         double d_at = 0.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "retime/min_area.h"
 
 namespace lac::retime {
@@ -12,8 +14,14 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
   LAC_CHECK(opt.alpha >= 0.0 && opt.alpha <= 1.0);
   LAC_CHECK(opt.n_max >= 1);
 
+  obs::Span lac_span("lac.retiming");
+  lac_span.annotate("vertices", g.num_vertices());
+  lac_span.annotate("tiles", grid.num_tiles());
+  lac_span.annotate("alpha", opt.alpha);
+
   LacResult best;
   bool have_best = false;
+  std::vector<LacRoundStats> rounds;
 
   std::vector<double> tile_weight(static_cast<std::size_t>(grid.num_tiles()),
                                   1.0);
@@ -22,6 +30,16 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
 
   int no_improve = 0;
   for (int round = 0; round < opt.max_rounds; ++round) {
+    obs::Span round_span("lac.round");
+    LacRoundStats rs;
+    rs.round = round + 1;
+    if (!tile_weight.empty()) {
+      const auto [lo, hi] =
+          std::minmax_element(tile_weight.begin(), tile_weight.end());
+      rs.weight_lo = *lo;
+      rs.weight_hi = *hi;
+    }
+
     // Vertex weights follow their tile's adaptive weight, with the same
     // epsilon tie-break as the plain baseline (min_area.cc): cost-equal
     // registers stay with the logic rather than at an arbitrary position
@@ -34,7 +52,8 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
           (t.valid() ? tile_weight[t.index()] : 1.0) * tiebreak;
     }
 
-    const auto r = weighted_min_area_retiming(g, cs, area_weight);
+    MinAreaStats solve_stats;
+    const auto r = weighted_min_area_retiming(g, cs, area_weight, &solve_stats);
     LAC_CHECK_MSG(r.has_value(), "LAC-retiming called with infeasible period");
     AreaReport rep = place_flipflops(g, grid, *r, opt.ff_area);
     const int n_wr_so_far = round + 1;
@@ -52,6 +71,26 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
       ++no_improve;
     }
     best.n_wr = n_wr_so_far;
+
+    rs.n_foa = rep.n_foa;
+    rs.n_f = rep.n_f;
+    rs.best_n_foa = best.report.n_foa;
+    rs.max_overflow = rep.worst_overflow;
+    rs.improved = improved;
+    rs.augmentations = solve_stats.augmentations;
+    rs.solve_seconds = round_span.elapsed_seconds();
+    round_span.annotate("round", rs.round);
+    round_span.annotate("n_foa", rs.n_foa);
+    round_span.annotate("n_f", rs.n_f);
+    round_span.annotate("best_n_foa", rs.best_n_foa);
+    round_span.annotate("max_overflow", rs.max_overflow);
+    round_span.annotate("weight_lo", rs.weight_lo);
+    round_span.annotate("weight_hi", rs.weight_hi);
+    round_span.annotate("improved", rs.improved);
+    obs::count("lac.rounds");
+    obs::observe("lac.round_seconds", rs.solve_seconds);
+    obs::observe("lac.round_n_foa", static_cast<double>(rs.n_foa));
+    rounds.push_back(rs);
 
     if (rep.n_foa == 0) break;                 // all tiles fit — done
     if (no_improve >= opt.n_max) break;        // stagnated
@@ -77,6 +116,11 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
 
   LAC_CHECK(have_best);
   best.met_all_constraints = best.report.fits();
+  best.rounds = std::move(rounds);
+  lac_span.annotate("n_wr", best.n_wr);
+  lac_span.annotate("n_foa", best.report.n_foa);
+  lac_span.annotate("n_f", best.report.n_f);
+  lac_span.annotate("met_all_constraints", best.met_all_constraints);
   return best;
 }
 

@@ -17,6 +17,7 @@
 // flip-flops, then fewest total flip-flops) is returned.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "retime/constraints.h"
@@ -37,12 +38,31 @@ struct LacOptions {
   double weight_max = 1e6;
 };
 
+// Convergence record of one round of the adaptive re-weighting loop (one
+// weighted min-area solve).  The trajectory across rounds is the paper's
+// N_wr-vs-quality trade-off made explicit.
+struct LacRoundStats {
+  int round = 0;                // 1-based round number
+  std::int64_t n_foa = 0;       // violating flip-flops this round
+  std::int64_t n_f = 0;         // total flip-flops this round
+  std::int64_t best_n_foa = 0;  // best-so-far N_FOA after this round
+  double max_overflow = 0.0;    // worst tile overflow (µm²) this round
+  double weight_lo = 1.0;       // tile-weight spread entering the round
+  double weight_hi = 1.0;
+  bool improved = false;        // did this round improve the best solution
+  int augmentations = 0;        // min-cost-flow augmentations of the solve
+  double solve_seconds = 0.0;   // wall time of solve + placement
+};
+
 struct LacResult {
   std::vector<int> r;        // best retiming found
   AreaReport report;         // its area accounting
   int n_wr = 0;              // number of weighted min-area retimings solved
   bool met_all_constraints = false;
   std::vector<double> tile_weight;  // final adaptive weights (per tile)
+  // Per-round convergence history; rounds.size() == n_wr always, and
+  // best_n_foa is monotone non-increasing across rounds.
+  std::vector<LacRoundStats> rounds;
 };
 
 // `cs` must be feasible (callers check the clock period first); throws

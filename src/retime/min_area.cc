@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "graph/min_cost_flow.h"
+#include "obs/span.h"
 
 namespace lac::retime {
 
@@ -20,6 +21,10 @@ std::optional<std::vector<int>> weighted_min_area_retiming(
   const int n = g.num_vertices();
   LAC_CHECK(cs.num_vars == n);
   LAC_CHECK(static_cast<int>(area_weight.size()) == n);
+
+  obs::Span span("retime.weighted_min_area");
+  span.annotate("vertices", n);
+  span.annotate("constraints", cs.total());
 
   double max_w = 0.0;
   for (int v = 0; v < n; ++v) {
@@ -64,6 +69,8 @@ std::optional<std::vector<int>> weighted_min_area_retiming(
   }
 
   const auto sol = mcf.solve();
+  span.annotate("feasible", sol.has_value());
+  span.annotate("augmentations", mcf.stats().augmentations);
   if (!sol) return std::nullopt;  // negative cycle <=> constraints infeasible
 
   std::vector<int> r(static_cast<std::size_t>(n));
@@ -74,8 +81,10 @@ std::optional<std::vector<int>> weighted_min_area_retiming(
 
   LAC_CHECK_MSG(g.is_legal_retiming(r),
                 "min-cost-flow produced an illegal retiming");
-  if (stats != nullptr)
+  if (stats != nullptr) {
     stats->objective = weighted_ff_area(g, r, area_weight);
+    stats->augmentations = mcf.stats().augmentations;
+  }
   return r;
 }
 

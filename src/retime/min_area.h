@@ -34,7 +34,7 @@ namespace lac::retime {
 
 struct MinAreaStats {
   double objective = 0.0;  // Σ A(tail(e)) · w_r(e), the weighted FF area
-  int augmentations = 0;   // (reserved)
+  int augmentations = 0;   // min-cost-flow augmenting phases of the solve
 };
 
 // Solves weighted min-area retiming for the given constraint system.

@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace lac::route {
 
@@ -145,6 +147,9 @@ void GlobalRouter::add_usage(const RouteTree& t, double delta) {
 
 std::vector<RouteTree> GlobalRouter::route_all(
     const std::vector<RouteRequest>& nets) {
+  stats_ = {};
+  obs::Span span("route.route_all");
+  span.annotate("nets", nets.size());
   std::vector<RouteTree> trees(nets.size());
   // Initial routing, long nets first (they have the least flexibility).
   std::vector<std::size_t> order(nets.size());
@@ -175,7 +180,11 @@ std::vector<RouteTree> GlobalRouter::route_all(
       }
     }
     if (n_over == 0) break;
+    obs::Span round_span("route.ripup_round");
+    round_span.annotate("round", round + 1);
+    round_span.annotate("overflowed_edges", n_over);
     stats_.ripup_rounds_used = round + 1;
+    long long rerouted = 0;
     for (std::size_t i = 0; i < nets.size(); ++i) {
       if (!trees[i].routed()) continue;
       bool touches = false;
@@ -188,21 +197,47 @@ std::vector<RouteTree> GlobalRouter::route_all(
       add_usage(trees[i], -1.0);
       trees[i] = route_one(nets[i]);
       add_usage(trees[i], 1.0);
+      ++rerouted;
     }
+    stats_.nets_rerouted += rerouted;
+    round_span.annotate("nets_rerouted", rerouted);
   }
 
   // Final statistics.
   stats_.total_wirelength_um = 0.0;
   stats_.overflowed_edges = 0;
   stats_.max_usage = 0.0;
-  for (const auto& t : trees)
+  for (const auto& t : trees) {
+    if (t.routed()) ++stats_.nets_routed;
     stats_.total_wirelength_um +=
         static_cast<double>(t.edges.size()) *
         static_cast<double>(grid_.tile_size());
+  }
   for (const double u : usage_) {
     stats_.max_usage = std::max(stats_.max_usage, u);
     if (u > opt_.edge_capacity) ++stats_.overflowed_edges;
+    if (u <= 0.0) {
+      ++stats_.idle_edges;
+      continue;
+    }
+    const double ratio = u / opt_.edge_capacity;
+    std::size_t b = 0;
+    while (b < RoutingStats::kUsageBucketBounds.size() &&
+           ratio > RoutingStats::kUsageBucketBounds[b])
+      ++b;
+    ++stats_.usage_histogram[b];
   }
+
+  span.annotate("nets_routed", stats_.nets_routed);
+  span.annotate("nets_rerouted", stats_.nets_rerouted);
+  span.annotate("ripup_rounds_used", stats_.ripup_rounds_used);
+  span.annotate("overflowed_edges", stats_.overflowed_edges);
+  span.annotate("max_usage", stats_.max_usage);
+  span.annotate("total_wirelength_um", stats_.total_wirelength_um);
+  obs::count("route.nets", stats_.nets_routed);
+  obs::count("route.nets_rerouted", stats_.nets_rerouted);
+  obs::count("route.overflowed_edges", stats_.overflowed_edges);
+  obs::observe("route.max_usage", stats_.max_usage);
   return trees;
 }
 

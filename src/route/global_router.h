@@ -10,6 +10,7 @@
 // — exactly the priorities the paper states for this step.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -49,6 +50,18 @@ struct RoutingStats {
   int overflowed_edges = 0;          // edges with usage > capacity (final)
   double max_usage = 0.0;
   int ripup_rounds_used = 0;
+  int nets_routed = 0;               // nets with at least one real sink
+  long long nets_rerouted = 0;       // rip-up re-routes across all rounds
+
+  // Final distribution of edge usage/capacity: bucket i counts boundary
+  // edges with ratio in (kUsageBucketBounds[i-1], kUsageBucketBounds[i]];
+  // bucket 0 starts at 0 (exclusive of idle edges counted in idle_edges),
+  // the last bucket is unbounded.  Buckets past 1.0 are the overflow
+  // histogram.
+  static constexpr std::array<double, 7> kUsageBucketBounds{
+      0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0};
+  std::array<int, 8> usage_histogram{};
+  int idle_edges = 0;                // edges with zero usage
 };
 
 class GlobalRouter {

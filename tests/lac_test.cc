@@ -106,6 +106,47 @@ TEST(Lac, StopsWithinRoundBudget) {
   EXPECT_LE(lac.n_wr, 1 + opt.n_max + 1);
 }
 
+TEST(Lac, ConvergenceHistoryMatchesRounds) {
+  auto s = make_scenario();
+  // Impossible capacities force the full multi-round loop.
+  s.grid.consume(s.tight, 1e9);
+  s.grid.consume(s.roomy, 1e9);
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  LacOptions opt = ff50();
+  opt.n_max = 3;
+  opt.max_rounds = 40;
+  const auto lac = lac_retiming(s.g, s.grid, cs, opt);
+
+  // One history record per weighted min-area solve, numbered from 1.
+  ASSERT_EQ(static_cast<int>(lac.rounds.size()), lac.n_wr);
+  ASSERT_GT(lac.n_wr, 1);
+  for (std::size_t i = 0; i < lac.rounds.size(); ++i) {
+    const LacRoundStats& rs = lac.rounds[i];
+    EXPECT_EQ(rs.round, static_cast<int>(i) + 1);
+    EXPECT_GE(rs.n_f, 0);
+    EXPECT_GE(rs.n_foa, 0);
+    EXPECT_GE(rs.max_overflow, 0.0);
+    EXPECT_LE(rs.weight_lo, rs.weight_hi);
+    EXPECT_GE(rs.solve_seconds, 0.0);
+    // best_n_foa is the running best: monotone non-increasing and never
+    // above the round's own violation count.
+    if (i > 0) EXPECT_LE(rs.best_n_foa, lac.rounds[i - 1].best_n_foa);
+    EXPECT_LE(rs.best_n_foa, rs.n_foa);
+  }
+  // The history's final best matches the returned result.
+  EXPECT_EQ(lac.rounds.back().best_n_foa, lac.report.n_foa);
+}
+
+TEST(Lac, ConvergenceHistorySingleRoundWhenFitting) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  const auto lac = lac_retiming(s.g, s.grid, cs, ff50());
+  ASSERT_EQ(static_cast<int>(lac.rounds.size()), lac.n_wr);
+  EXPECT_TRUE(lac.rounds.front().improved);
+}
+
 TEST(Lac, ReweightingRaisesOverfullTiles) {
   auto s = make_scenario();
   const auto wd = WdMatrices::compute(s.g);

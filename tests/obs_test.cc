@@ -1,0 +1,300 @@
+// Tests for the observability subsystem: span nesting, JSON escaping and
+// round-trips, metric accumulation, report structure, and the
+// disabled-path no-allocation guarantee.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "obs/span.h"
+
+namespace lac::obs {
+namespace {
+
+// Global allocation counter for the no-allocation test.  Counting is
+// toggled by the test to avoid measuring gtest internals.
+std::atomic<long long> g_allocs{0};
+std::atomic<bool> g_count_allocs{false};
+
+}  // namespace
+}  // namespace lac::obs
+
+void* operator new(std::size_t size) {
+  if (lac::obs::g_count_allocs.load(std::memory_order_relaxed))
+    lac::obs::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lac::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    Metrics::instance().reset();
+    (void)take_finished_roots();  // drain anything a prior test left behind
+  }
+};
+
+TEST_F(ObsTest, SpanNestingBuildsTree) {
+  {
+    Span root("root");
+    root.annotate("k", 42);
+    {
+      Span child("child_a");
+      child.annotate("tag", "x");
+      { Span grand("grand"); }
+    }
+    { Span child("child_b"); }
+  }
+  const auto roots = take_finished_roots();
+  ASSERT_EQ(roots.size(), 1u);
+  const SpanNode& r = roots[0];
+  EXPECT_EQ(r.name, "root");
+  EXPECT_GE(r.seconds, 0.0);
+  ASSERT_EQ(r.children.size(), 2u);
+  EXPECT_EQ(r.children[0].name, "child_a");
+  EXPECT_EQ(r.children[1].name, "child_b");
+  ASSERT_EQ(r.children[0].children.size(), 1u);
+  EXPECT_EQ(r.children[0].children[0].name, "grand");
+
+  const Annotation* a = r.find_annotation("k");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->kind, Annotation::Kind::kInt);
+  EXPECT_EQ(a->i, 42);
+  ASSERT_NE(r.find_child("child_b"), nullptr);
+  EXPECT_EQ(r.find_child("nope"), nullptr);
+}
+
+TEST_F(ObsTest, SiblingRootsArePublishedInCompletionOrder) {
+  { Span a("first"); }
+  { Span b("second"); }
+  const auto roots = take_finished_roots();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].name, "first");
+  EXPECT_EQ(roots[1].name, "second");
+  // Drained: a second take returns nothing.
+  EXPECT_TRUE(take_finished_roots().empty());
+}
+
+TEST_F(ObsTest, SpansOnDifferentThreadsAreSeparateRoots) {
+  std::thread t([] { Span s("thread_root"); });
+  t.join();
+  { Span s("main_root"); }
+  const auto roots = take_finished_roots();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].name, "thread_root");
+  EXPECT_EQ(roots[1].name, "main_root");
+}
+
+TEST_F(ObsTest, DisabledSpanRecordsNothingButStillTimes) {
+  set_enabled(false);
+  {
+    Span s("off");
+    EXPECT_FALSE(s.recording());
+    EXPECT_GE(s.elapsed_seconds(), 0.0);
+  }
+  set_enabled(true);
+  EXPECT_TRUE(take_finished_roots().empty());
+}
+
+TEST_F(ObsTest, ScopedEnableRestoresPreviousState) {
+  set_enabled(true);
+  {
+    ScopedEnable off(false);
+    EXPECT_FALSE(enabled());
+    {
+      ScopedEnable on(true);
+      EXPECT_TRUE(enabled());
+    }
+    EXPECT_FALSE(enabled());
+  }
+  EXPECT_TRUE(enabled());
+}
+
+TEST_F(ObsTest, DisabledHotPathPerformsNoAllocation) {
+  set_enabled(false);
+  g_allocs.store(0);
+  g_count_allocs.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    Span s("hot");
+    s.annotate("k", 1);
+    s.annotate("s", "value");
+    count("c");
+    gauge("g", 1.0);
+    observe("h", 0.5);
+  }
+  g_count_allocs.store(false);
+  set_enabled(true);
+  EXPECT_EQ(g_allocs.load(), 0);
+}
+
+TEST_F(ObsTest, CountersAccumulate) {
+  count("test.counter");
+  count("test.counter", 4);
+  EXPECT_EQ(Metrics::instance().counter("test.counter"), 5);
+  EXPECT_EQ(Metrics::instance().counter("absent"), 0);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastValue) {
+  gauge("test.gauge", 1.5);
+  gauge("test.gauge", 2.5);
+  const auto g = Metrics::instance().gauge("test.gauge");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_DOUBLE_EQ(*g, 2.5);
+  EXPECT_FALSE(Metrics::instance().gauge("absent").has_value());
+}
+
+TEST_F(ObsTest, HistogramAccumulatesIntoLogBuckets) {
+  observe("test.hist", 0.5);
+  observe("test.hist", 0.5);
+  observe("test.hist", 100.0);
+  const auto h = Metrics::instance().histogram("test.hist");
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->count, 3);
+  EXPECT_DOUBLE_EQ(h->sum, 101.0);
+  EXPECT_DOUBLE_EQ(h->min, 0.5);
+  EXPECT_DOUBLE_EQ(h->max, 100.0);
+  std::int64_t total = 0;
+  for (const auto b : h->buckets) total += b;
+  EXPECT_EQ(total, 3);
+  // 0.5 lands in the bucket whose bound is the first >= 0.5; both
+  // observations of 0.5 share it.
+  int first_nonempty = -1;
+  for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i)
+    if (h->buckets[static_cast<std::size_t>(i)] > 0) {
+      first_nonempty = i;
+      break;
+    }
+  ASSERT_GE(first_nonempty, 0);
+  EXPECT_EQ(h->buckets[static_cast<std::size_t>(first_nonempty)], 2);
+  EXPECT_GE(HistogramSnapshot::bucket_bound(first_nonempty), 0.5);
+}
+
+TEST_F(ObsTest, DisabledMetricsAreDropped) {
+  set_enabled(false);
+  count("dropped.counter");
+  observe("dropped.hist", 1.0);
+  set_enabled(true);
+  EXPECT_EQ(Metrics::instance().counter("dropped.counter"), 0);
+  EXPECT_FALSE(Metrics::instance().histogram("dropped.hist").has_value());
+}
+
+TEST(JsonTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json::escape(std::string("a\x01" "b")), "a\\u0001b");
+}
+
+TEST(JsonTest, WriterProducesWellFormedDocument) {
+  json::Writer w;
+  w.begin_object();
+  w.kv("name", "x\"y");
+  w.kv("n", 3);
+  w.kv("pi", 3.5);
+  w.kv("yes", true);
+  w.key("arr");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.key("none");
+  w.null();
+  w.end_object();
+  const std::string doc = w.take();
+  const auto v = json::parse(doc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("name")->str, "x\"y");
+  EXPECT_DOUBLE_EQ(v->find("n")->num, 3.0);
+  EXPECT_DOUBLE_EQ(v->find("pi")->num, 3.5);
+  EXPECT_TRUE(v->find("yes")->b);
+  ASSERT_TRUE(v->find("arr")->is_array());
+  EXPECT_EQ(v->find("arr")->array.size(), 2u);
+  EXPECT_EQ(v->find("none")->kind, json::Value::Kind::kNull);
+}
+
+TEST(JsonTest, ParseRoundTripsThroughSerialize) {
+  const std::string doc =
+      R"({"a": [1, 2.5, "sé", true, null], "b": {"c": -3}})";
+  const auto v = json::parse(doc);
+  ASSERT_TRUE(v.has_value());
+  const auto again = json::parse(json::serialize(*v));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(json::serialize(*v), json::serialize(*again));
+  EXPECT_EQ(v->at_path({"b", "c"})->num, -3.0);
+  EXPECT_EQ(v->find("a")->array[2].str, "s\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("{").has_value());
+  EXPECT_FALSE(json::parse("[1,]").has_value());
+  EXPECT_FALSE(json::parse("{} trailing").has_value());
+  EXPECT_FALSE(json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(json::parse("nul").has_value());
+}
+
+TEST_F(ObsTest, ReportContainsTraceAndMetrics) {
+  {
+    Span s("report_root");
+    s.annotate("circuit", "y123");
+    { Span c("stage"); }
+    count("report.counter", 7);
+    observe("report.hist", 2.0);
+  }
+  const std::string text =
+      render_report("unit", {{"note", json::Value::of("hello")}});
+  const auto doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("schema")->str, "lac-obs-report/1");
+  EXPECT_EQ(doc->find("name")->str, "unit");
+  EXPECT_TRUE(doc->find("obs_enabled")->b);
+  EXPECT_EQ(doc->at_path({"meta", "note"})->str, "hello");
+
+  const auto* trace = doc->find("trace");
+  ASSERT_TRUE(trace && trace->is_array());
+  ASSERT_EQ(trace->array.size(), 1u);
+  const auto& root = trace->array[0];
+  EXPECT_EQ(root.find("name")->str, "report_root");
+  EXPECT_EQ(root.at_path({"annotations", "circuit"})->str, "y123");
+  ASSERT_EQ(root.find("children")->array.size(), 1u);
+  EXPECT_EQ(root.find("children")->array[0].find("name")->str, "stage");
+
+  EXPECT_EQ(doc->at_path({"metrics", "counters", "report.counter"})->num, 7.0);
+  const auto* hist = doc->at_path({"metrics", "histograms", "report.hist"});
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->num, 1.0);
+
+  // Building the report drained the store: a second report has no trace.
+  const auto empty = json::parse(render_report("unit2"));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->find("trace")->array.empty());
+}
+
+TEST_F(ObsTest, WriteReportRoundTripsThroughParseFile) {
+  { Span s("file_root"); }
+  const std::string path =
+      ::testing::TempDir() + "/obs_test_report.json";
+  ASSERT_TRUE(write_report(path, "file_test"));
+  const auto doc = json::parse_file(path);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("name")->str, "file_test");
+  EXPECT_EQ(doc->find("trace")->array[0].find("name")->str, "file_root");
+  EXPECT_FALSE(json::parse_file(path + ".missing").has_value());
+}
+
+}  // namespace
+}  // namespace lac::obs

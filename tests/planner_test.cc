@@ -2,6 +2,7 @@
 
 #include "bench89/suite.h"
 #include "netlist/generator.h"
+#include "obs/span.h"
 #include "planner/interconnect_planner.h"
 
 namespace lac::planner {
@@ -126,6 +127,56 @@ TEST(Planner, S27EndToEnd) {
   const auto res = planner.plan(nl);
   EXPECT_GT(res.t_init_ps, 0.0);
   EXPECT_TRUE(res.graph.is_legal_retiming(res.lac.r));
+}
+
+TEST(Planner, PlanEmitsStageSpansAndConvergenceHistory) {
+  const auto nl = small_circuit();
+  PlannerConfig cfg = fast_config();
+  cfg.observability = obs::Override::kOn;  // independent of LAC_OBS
+  InterconnectPlanner planner(cfg);
+  (void)obs::take_finished_roots();  // drain other tests' traces
+  const auto res = planner.plan(nl);
+
+  const auto roots = obs::take_finished_roots();
+  ASSERT_EQ(roots.size(), 1u);
+  const obs::SpanNode& plan = roots[0];
+  EXPECT_EQ(plan.name, "planner.plan");
+  ASSERT_NE(plan.find_child("stage.partition"), nullptr);
+  ASSERT_NE(plan.find_child("stage.floorplan"), nullptr);
+  const obs::SpanNode* iter = plan.find_child("planner.iteration");
+  ASSERT_NE(iter, nullptr);
+  for (const char* stage :
+       {"stage.tile_grid", "stage.collapse_nets", "stage.global_route",
+        "stage.repeaters", "stage.build_graph", "stage.timing",
+        "stage.min_area_retiming", "stage.lac_retiming"})
+    EXPECT_NE(iter->find_child(stage), nullptr) << stage;
+
+  // The LAC stage nests the retimer's own span with per-round children.
+  const obs::SpanNode* lac_stage = iter->find_child("stage.lac_retiming");
+  ASSERT_NE(lac_stage, nullptr);
+  const obs::SpanNode* lac = lac_stage->find_child("lac.retiming");
+  ASSERT_NE(lac, nullptr);
+  int lac_rounds = 0;
+  for (const auto& c : lac->children) lac_rounds += (c.name == "lac.round");
+  EXPECT_EQ(lac_rounds, res.lac.n_wr);
+
+  // The result mirrors the trace: per-round history sized by n_wr, with
+  // the baseline outcome carrying none.
+  EXPECT_EQ(static_cast<int>(res.lac.rounds.size()), res.lac.n_wr);
+  EXPECT_TRUE(res.min_area.rounds.empty());
+}
+
+TEST(Planner, ObservabilityOffSuppressesTracing) {
+  const auto nl = small_circuit();
+  PlannerConfig cfg = fast_config();
+  cfg.observability = obs::Override::kOff;
+  InterconnectPlanner planner(cfg);
+  (void)obs::take_finished_roots();
+  const auto res = planner.plan(nl);
+  EXPECT_TRUE(obs::take_finished_roots().empty());
+  // Timings still come through: Span doubles as the flow's stopwatch.
+  EXPECT_GE(res.lac.exec_seconds, 0.0);
+  EXPECT_EQ(static_cast<int>(res.lac.rounds.size()), res.lac.n_wr);
 }
 
 TEST(Planner, TclkFollowsSlackFraction) {
