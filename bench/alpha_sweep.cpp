@@ -15,7 +15,8 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out = bench_io::out_dir(argc, argv);
+  const std::string out =
+      bench_io::parse_cli(argc, argv, "alpha_sweep").out_dir;
 
   const std::vector<double> alphas{0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0};
   const std::vector<const char*> circuits{"y386", "y526", "y838", "y1269",

@@ -1,10 +1,15 @@
 // Shared CLI plumbing for the bench binaries: every tool accepts an
-// optional output directory as its first argument (default ".") and
-// writes a structured observability run report there before exiting.
+// optional output directory as its first positional argument (default
+// "."), understands --help, rejects unknown options with exit 64
+// (EX_USAGE), and writes a structured observability run report before
+// exiting.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -12,10 +17,74 @@
 
 namespace lac::bench_io {
 
-// argv[1], when present and non-empty, is the output directory.
-inline std::string out_dir(int argc, char** argv) {
-  if (argc > 1 && argv[1][0] != '\0') return argv[1];
-  return ".";
+struct Cli {
+  std::string out_dir = ".";
+  // --limit N: run only the first N suite circuits (table1_main); -1 =
+  // whole suite.
+  long long limit = -1;
+};
+
+inline void print_usage(std::FILE* to, const char* tool, bool with_limit) {
+  std::fprintf(to,
+               "usage: %s [out_dir]%s\n"
+               "\n"
+               "  out_dir     directory for the run report (and any CSVs);"
+               " default \".\",\n"
+               "              created if missing\n"
+               "  --help, -h  show this message\n",
+               tool, with_limit ? " [--limit N]" : "");
+  if (with_limit)
+    std::fprintf(to,
+                 "  --limit N   run only the first N suite circuits (CI"
+                 " perf gate)\n");
+}
+
+// Parses the common bench command line.  Exits on --help (0) and on
+// unknown options or surplus arguments (64).
+inline Cli parse_cli(int argc, char** argv, const char* tool,
+                     bool with_limit = false) {
+  Cli cli;
+  bool have_out = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, tool, with_limit);
+      std::exit(0);
+    }
+    if (with_limit && arg == "--limit") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --limit needs a count\n", tool);
+        std::exit(64);
+      }
+      char* end = nullptr;
+      cli.limit = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || cli.limit < 0) {
+        std::fprintf(stderr, "%s: bad --limit value '%s'\n", tool, argv[i]);
+        std::exit(64);
+      }
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", tool, arg.c_str());
+      print_usage(stderr, tool, with_limit);
+      std::exit(64);
+    }
+    if (have_out) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", tool,
+                   arg.c_str());
+      print_usage(stderr, tool, with_limit);
+      std::exit(64);
+    }
+    if (!arg.empty()) cli.out_dir = arg;
+    have_out = true;
+  }
+  // Tools also write CSVs straight into out_dir, so create it up front;
+  // failure surfaces later as per-file warnings.
+  if (cli.out_dir != ".") {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.out_dir, ec);
+  }
+  return cli;
 }
 
 inline std::string join(const std::string& dir, const std::string& file) {
@@ -29,10 +98,12 @@ inline void write_bench_report(
     const std::string& dir, const std::string& name,
     const std::vector<std::pair<std::string, obs::json::Value>>& meta = {}) {
   const std::string path = join(dir, name + "_report.json");
-  if (obs::write_report(path, name, meta))
+  std::string error;
+  if (obs::write_report(path, name, meta, &error))
     std::printf("(run report written to %s)\n", path.c_str());
   else
-    std::fprintf(stderr, "warning: failed to write %s\n", path.c_str());
+    std::fprintf(stderr, "warning: failed to write %s: %s\n", path.c_str(),
+                 error.c_str());
 }
 
 }  // namespace lac::bench_io

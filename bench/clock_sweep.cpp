@@ -16,7 +16,8 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out = bench_io::out_dir(argc, argv);
+  const std::string out =
+      bench_io::parse_cli(argc, argv, "clock_sweep").out_dir;
 
   std::printf("=== Clock-slack sweep: T_clk = T_min + f (T_init - T_min) ===\n\n");
   for (const char* name : {"y526", "y1269"}) {

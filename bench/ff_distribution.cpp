@@ -16,7 +16,8 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out = bench_io::out_dir(argc, argv);
+  const std::string out =
+      bench_io::parse_cli(argc, argv, "ff_distribution").out_dir;
 
   std::printf("=== Flip-flop distribution & clock-period gap ===\n\n");
   TextTable table({"circuit", "N_F", "N_FN", "FF-in-wire %", "T_init(ps)",

@@ -15,7 +15,8 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out = bench_io::out_dir(argc, argv);
+  const std::string out =
+      bench_io::parse_cli(argc, argv, "iteration_convergence").out_dir;
 
   std::printf("=== Planning-iteration convergence (floorplan expansion) ===\n\n");
   TextTable table({"circuit", "iter1:MA_FOA", "iter1:LAC_FOA", "iter2:LAC_FOA",

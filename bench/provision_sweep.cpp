@@ -22,7 +22,8 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out = bench_io::out_dir(argc, argv);
+  const std::string out =
+      bench_io::parse_cli(argc, argv, "provision_sweep").out_dir;
 
   const std::vector<const char*> circuits{"y298", "y526", "y838", "y1269"};
   std::printf("=== Register-provisioning sweep ===\n\n");

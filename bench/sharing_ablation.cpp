@@ -18,7 +18,8 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out = bench_io::out_dir(argc, argv);
+  const std::string out =
+      bench_io::parse_cli(argc, argv, "sharing_ablation").out_dir;
 
   std::printf("=== Per-edge vs register-sharing min-area retiming ===\n\n");
   TextTable table({"circuit", "T_min(ps)", "edge-obj N_F", "its shared cost",

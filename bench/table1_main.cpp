@@ -24,7 +24,9 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out = bench_io::out_dir(argc, argv);
+  const bench_io::Cli cli =
+      bench_io::parse_cli(argc, argv, "table1_main", /*with_limit=*/true);
+  const std::string& out = cli.out_dir;
 
   std::printf("=== Table 1: Min-Area Retiming vs LAC-Retiming ===\n\n");
   const std::string csv_path = bench_io::join(out, "table1.csv");
@@ -40,7 +42,14 @@ int main(int argc, char** argv) {
   int decrease_count = 0;
   long long total_ma_foa = 0, total_lac_foa = 0;
 
-  for (const auto& entry : bench89::table1_suite()) {
+  // --limit N truncates to the N smallest circuits: the CI perf gate
+  // runs a fast deterministic subset against a checked-in baseline.
+  std::vector<bench89::SuiteEntry> suite = bench89::table1_suite();
+  if (cli.limit >= 0 &&
+      cli.limit < static_cast<long long>(suite.size()))
+    suite.resize(static_cast<std::size_t>(cli.limit));
+
+  for (const auto& entry : suite) {
     const auto nl = bench89::load(entry);
     planner::PlannerConfig cfg;
     cfg.seed = 7;
@@ -105,7 +114,8 @@ int main(int argc, char** argv) {
                     static_cast<double>(total_ma_foa));
   bench_io::write_bench_report(
       out, "table1",
-      {{"avg_n_foa_decrease_pct",
+      {{"circuits", obs::json::Value::of(suite.size())},
+       {"avg_n_foa_decrease_pct",
         obs::json::Value::of(decrease_count > 0
                                  ? decrease_sum / decrease_count
                                  : 0.0)},

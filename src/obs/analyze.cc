@@ -1,0 +1,154 @@
+#include "obs/analyze.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace lac::obs {
+
+namespace {
+
+Annotation annotation_from_json(const std::string& key, const json::Value& v) {
+  Annotation a;
+  a.key = key;
+  switch (v.kind) {
+    case json::Value::Kind::kString:
+      a.kind = Annotation::Kind::kString;
+      a.s = v.str;
+      break;
+    case json::Value::Kind::kBool:
+      a.kind = Annotation::Kind::kBool;
+      a.b = v.b;
+      break;
+    case json::Value::Kind::kNumber: {
+      // Report writers emit integral annotations without a fraction;
+      // recover the integer kind when the value round-trips exactly.
+      const auto i = static_cast<std::int64_t>(v.num);
+      if (static_cast<double>(i) == v.num) {
+        a.kind = Annotation::Kind::kInt;
+        a.i = i;
+      } else {
+        a.kind = Annotation::Kind::kDouble;
+        a.d = v.num;
+      }
+      break;
+    }
+    default:
+      a.kind = Annotation::Kind::kString;
+      break;
+  }
+  return a;
+}
+
+}  // namespace
+
+std::optional<SpanNode> span_from_json(const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  const json::Value* name = v.find("name");
+  if (name == nullptr || name->kind != json::Value::Kind::kString)
+    return std::nullopt;
+  SpanNode node;
+  node.name = name->str;
+  if (const json::Value* s = v.find("seconds");
+      s != nullptr && s->kind == json::Value::Kind::kNumber)
+    node.seconds = s->num;
+  if (const json::Value* ann = v.find("annotations"); ann && ann->is_object())
+    for (const auto& [k, av] : ann->object)
+      node.annotations.push_back(annotation_from_json(k, av));
+  if (const json::Value* kids = v.find("children"); kids && kids->is_array())
+    for (const json::Value& c : kids->array)
+      if (auto child = span_from_json(c)) node.children.push_back(*child);
+  return node;
+}
+
+std::vector<SpanNode> trace_from_report(const json::Value& report) {
+  std::vector<SpanNode> roots;
+  const json::Value* trace = report.find("trace");
+  if (trace == nullptr || !trace->is_array()) return roots;
+  for (const json::Value& v : trace->array)
+    if (auto span = span_from_json(v)) roots.push_back(std::move(*span));
+  return roots;
+}
+
+namespace {
+
+bool span_json_has_times(const json::Value& v) {
+  if (!v.is_object()) return false;
+  if (const json::Value* s = v.find("seconds");
+      s != nullptr && s->kind == json::Value::Kind::kNumber)
+    return true;
+  if (const json::Value* kids = v.find("children"); kids && kids->is_array())
+    for (const json::Value& c : kids->array)
+      if (span_json_has_times(c)) return true;
+  return false;
+}
+
+}  // namespace
+
+bool report_has_times(const json::Value& report) {
+  const json::Value* trace = report.find("trace");
+  if (trace == nullptr || !trace->is_array()) return false;
+  for (const json::Value& v : trace->array)
+    if (span_json_has_times(v)) return true;
+  return false;
+}
+
+double self_seconds(const SpanNode& node) {
+  double child_total = 0.0;
+  for (const SpanNode& c : node.children) child_total += c.seconds;
+  return std::max(0.0, node.seconds - child_total);
+}
+
+namespace {
+
+void accumulate(const SpanNode& node,
+                std::map<std::string, SpanStats>& by_name) {
+  SpanStats& s = by_name[node.name];
+  if (s.count == 0) {
+    s.name = node.name;
+    s.min_seconds = node.seconds;
+    s.max_seconds = node.seconds;
+  } else {
+    s.min_seconds = std::min(s.min_seconds, node.seconds);
+    s.max_seconds = std::max(s.max_seconds, node.seconds);
+  }
+  ++s.count;
+  s.total_seconds += node.seconds;
+  s.self_seconds += self_seconds(node);
+  for (const SpanNode& c : node.children) accumulate(c, by_name);
+}
+
+}  // namespace
+
+std::vector<SpanStats> aggregate_spans(const std::vector<SpanNode>& roots) {
+  std::map<std::string, SpanStats> by_name;
+  for (const SpanNode& r : roots) accumulate(r, by_name);
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [_, s] : by_name) out.push_back(std::move(s));
+  std::sort(out.begin(), out.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              if (a.total_seconds != b.total_seconds)
+                return a.total_seconds > b.total_seconds;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<const SpanNode*> critical_chain(
+    const std::vector<SpanNode>& roots) {
+  std::vector<const SpanNode*> chain;
+  const SpanNode* cur = nullptr;
+  for (const SpanNode& r : roots)
+    if (cur == nullptr || r.seconds > cur->seconds) cur = &r;
+  while (cur != nullptr) {
+    chain.push_back(cur);
+    const SpanNode* hottest = nullptr;
+    for (const SpanNode& c : cur->children)
+      if (hottest == nullptr || c.seconds > hottest->seconds) hottest = &c;
+    cur = hottest;
+  }
+  return chain;
+}
+
+}  // namespace lac::obs

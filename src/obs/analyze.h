@@ -1,0 +1,66 @@
+// Post-hoc analysis of lac-obs-report/1 documents: re-hydrating span
+// trees from parsed report JSON, per-span self time (exclusive of
+// children), per-name aggregation, and critical-chain extraction.
+//
+// Everything operates on parsed reports (json::Value) or the SpanNode
+// trees reconstructed from them, so the same code serves in-process
+// consumers (tests, examples) and the offline `lacobs` CLI.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/span.h"
+
+namespace lac::obs {
+
+// Rebuilds one span tree from its report JSON (inverse of span_to_json).
+// Spans stripped of wall-clock fields (`lacobs strip-times`) come back
+// with seconds == 0.  Returns nullopt when `v` is not an object with a
+// string "name".
+[[nodiscard]] std::optional<SpanNode> span_from_json(const json::Value& v);
+
+// All root spans under the report's "trace"; empty when absent or
+// malformed (individual malformed spans are skipped, not fatal).
+[[nodiscard]] std::vector<SpanNode> trace_from_report(
+    const json::Value& report);
+
+// True when any span in the report carries a "seconds" field — false for
+// strip-times'd baselines, which suppresses timing comparisons in
+// compare.h.
+[[nodiscard]] bool report_has_times(const json::Value& report);
+
+// Wall time spent in `node` itself, exclusive of its children.  Clamped
+// at zero: child timers stopping after the parent's reading can push the
+// raw difference negative by a clock quantum.
+[[nodiscard]] double self_seconds(const SpanNode& node);
+
+// Aggregate statistics for every span sharing one name.
+struct SpanStats {
+  std::string name;
+  std::int64_t count = 0;
+  double total_seconds = 0.0;  // inclusive wall time
+  double self_seconds = 0.0;   // exclusive of children
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  [[nodiscard]] double mean_seconds() const {
+    return count > 0 ? total_seconds / static_cast<double>(count) : 0.0;
+  }
+};
+
+// Aggregates every span in the forest (recursively) by name, sorted by
+// total time descending, ties by name.
+[[nodiscard]] std::vector<SpanStats> aggregate_spans(
+    const std::vector<SpanNode>& roots);
+
+// The hottest root-to-leaf chain: the root with the largest wall time,
+// then repeatedly the slowest child.  Pointers into `roots`; empty when
+// `roots` is.
+[[nodiscard]] std::vector<const SpanNode*> critical_chain(
+    const std::vector<SpanNode>& roots);
+
+}  // namespace lac::obs

@@ -1,0 +1,356 @@
+#include "obs/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "obs/analyze.h"
+
+namespace lac::obs {
+
+namespace {
+
+// Non-timing doubles (gauges, histogram sums of counts) come from the
+// same deterministic arithmetic as the counters; the epsilon only
+// forgives decimal round-tripping through the report text.
+constexpr double kExactRelTol = 1e-9;
+
+bool nearly_equal(double a, double b) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  if (a == b) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= kExactRelTol * scale;
+}
+
+std::map<std::string, double> number_map(const json::Value& report,
+                                         std::string_view section) {
+  std::map<std::string, double> out;
+  if (const json::Value* obj = report.at_path({"metrics", section});
+      obj != nullptr && obj->is_object())
+    for (const auto& [k, v] : obj->object)
+      if (v.kind == json::Value::Kind::kNumber) out.emplace(k, v.num);
+  return out;
+}
+
+std::map<std::string, const json::Value*> object_map(
+    const json::Value& report, std::string_view section) {
+  std::map<std::string, const json::Value*> out;
+  if (const json::Value* obj = report.at_path({"metrics", section});
+      obj != nullptr && obj->is_object())
+    for (const auto& [k, v] : obj->object)
+      if (v.is_object()) out.emplace(k, &v);
+  return out;
+}
+
+void raise(DiffResult& res, Verdict v) {
+  if (static_cast<int>(v) > static_cast<int>(res.verdict)) res.verdict = v;
+}
+
+void add_entry(DiffResult& res, DiffEntry::Kind kind, std::string name,
+               double baseline, double current, Verdict verdict,
+               std::string note = {}) {
+  raise(res, verdict);
+  res.entries.push_back({kind, std::move(name), baseline, current, verdict,
+                         std::move(note)});
+}
+
+Verdict timing_verdict(double base, double cur, const DiffOptions& opts,
+                       std::string& note) {
+  double rel;
+  if (base > 0.0) {
+    rel = std::fabs(cur - base) / base;
+  } else {
+    rel = cur >= opts.min_seconds ? opts.time_fail_tol + 1.0 : 0.0;
+  }
+  Verdict v = Verdict::kOk;
+  if (rel > opts.time_fail_tol) {
+    v = opts.timings_warn_only ? Verdict::kWarn : Verdict::kRegress;
+  } else if (rel > opts.time_warn_tol) {
+    v = Verdict::kWarn;
+  }
+  if (v != Verdict::kOk) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "timing moved %+.1f%%",
+                  100.0 * (base > 0.0 ? (cur - base) / base : 1.0));
+    note = buf;
+    if (opts.timings_warn_only && rel > opts.time_fail_tol)
+      note += " (capped at warn)";
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kWarn: return "warn";
+    case Verdict::kRegress: return "regress";
+  }
+  return "?";
+}
+
+int DiffResult::count(Verdict v) const {
+  int n = 0;
+  for (const DiffEntry& e : entries)
+    if (e.verdict == v) ++n;
+  return n;
+}
+
+bool is_timing_name(std::string_view name) {
+  return name.find("seconds") != std::string_view::npos;
+}
+
+DiffResult diff_reports(const json::Value& baseline,
+                        const json::Value& current,
+                        const DiffOptions& opts) {
+  DiffResult res;
+
+  // Deterministic counters: exact match or hard fail, both directions.
+  {
+    const auto base = number_map(baseline, "counters");
+    const auto cur = number_map(current, "counters");
+    for (const auto& [name, bv] : base) {
+      const auto it = cur.find(name);
+      if (it == cur.end()) {
+        add_entry(res, DiffEntry::Kind::kCounter, name, bv, 0.0,
+                  Verdict::kRegress, "counter missing from current report");
+      } else if (bv != it->second) {
+        add_entry(res, DiffEntry::Kind::kCounter, name, bv, it->second,
+                  Verdict::kRegress, "deterministic counter changed");
+      } else {
+        add_entry(res, DiffEntry::Kind::kCounter, name, bv, it->second,
+                  Verdict::kOk);
+      }
+    }
+    for (const auto& [name, cv] : cur)
+      if (base.find(name) == base.end())
+        add_entry(res, DiffEntry::Kind::kCounter, name, 0.0, cv,
+                  Verdict::kRegress,
+                  "counter not in baseline (regenerate the baseline?)");
+  }
+
+  // Gauges: timing-named ones follow the timing tolerance; the rest are
+  // deterministic.
+  {
+    const auto base = number_map(baseline, "gauges");
+    const auto cur = number_map(current, "gauges");
+    for (const auto& [name, bv] : base) {
+      const auto it = cur.find(name);
+      if (is_timing_name(name)) {
+        if (it == cur.end()) continue;  // stripped side: nothing to diff
+        if (bv < opts.min_seconds && it->second < opts.min_seconds) continue;
+        std::string note;
+        const Verdict v = timing_verdict(bv, it->second, opts, note);
+        add_entry(res, DiffEntry::Kind::kGauge, name, bv, it->second, v,
+                  std::move(note));
+        continue;
+      }
+      if (it == cur.end()) {
+        add_entry(res, DiffEntry::Kind::kGauge, name, bv, 0.0,
+                  Verdict::kRegress, "gauge missing from current report");
+      } else if (!nearly_equal(bv, it->second)) {
+        add_entry(res, DiffEntry::Kind::kGauge, name, bv, it->second,
+                  Verdict::kRegress, "deterministic gauge changed");
+      } else {
+        add_entry(res, DiffEntry::Kind::kGauge, name, bv, it->second,
+                  Verdict::kOk);
+      }
+    }
+    for (const auto& [name, cv] : cur)
+      if (base.find(name) == base.end() && !is_timing_name(name))
+        add_entry(res, DiffEntry::Kind::kGauge, name, 0.0, cv,
+                  Verdict::kRegress,
+                  "gauge not in baseline (regenerate the baseline?)");
+  }
+
+  // Histograms: observation counts are deterministic; sums follow the
+  // timing rules when the name is a timing (a strip-times'd baseline has
+  // no timing sums, so those comparisons vanish).
+  {
+    const auto base = object_map(baseline, "histograms");
+    const auto cur = object_map(current, "histograms");
+    const auto num_field = [](const json::Value* h, const char* f,
+                              double& out) {
+      const json::Value* v = h->find(f);
+      if (v == nullptr || v->kind != json::Value::Kind::kNumber) return false;
+      out = v->num;
+      return true;
+    };
+    for (const auto& [name, bh] : base) {
+      const auto it = cur.find(name);
+      if (it == cur.end()) {
+        add_entry(res, DiffEntry::Kind::kHistogram, name, 0.0, 0.0,
+                  Verdict::kRegress, "histogram missing from current report");
+        continue;
+      }
+      double bc = 0.0, cc = 0.0;
+      if (num_field(bh, "count", bc) && num_field(it->second, "count", cc)) {
+        if (bc != cc) {
+          add_entry(res, DiffEntry::Kind::kHistogram, name + ".count", bc, cc,
+                    Verdict::kRegress,
+                    "deterministic observation count changed");
+        } else {
+          add_entry(res, DiffEntry::Kind::kHistogram, name + ".count", bc, cc,
+                    Verdict::kOk);
+        }
+      }
+      double bs = 0.0, cs = 0.0;
+      if (num_field(bh, "sum", bs) && num_field(it->second, "sum", cs)) {
+        if (is_timing_name(name)) {
+          if (bs >= opts.min_seconds || cs >= opts.min_seconds) {
+            std::string note;
+            const Verdict v = timing_verdict(bs, cs, opts, note);
+            add_entry(res, DiffEntry::Kind::kHistogram, name + ".sum", bs, cs,
+                      v, std::move(note));
+          }
+        } else if (!nearly_equal(bs, cs)) {
+          add_entry(res, DiffEntry::Kind::kHistogram, name + ".sum", bs, cs,
+                    Verdict::kRegress, "deterministic histogram sum changed");
+        }
+      }
+    }
+    for (const auto& [name, ch] : cur)
+      if (base.find(name) == base.end())
+        add_entry(res, DiffEntry::Kind::kHistogram, name, 0.0, 0.0,
+                  Verdict::kRegress,
+                  "histogram not in baseline (regenerate the baseline?)");
+  }
+
+  // Spans: per-name counts are deterministic structure; per-name total
+  // times follow the timing tolerance and need wall-clock data on both
+  // sides.
+  {
+    const auto broots = trace_from_report(baseline);
+    const auto croots = trace_from_report(current);
+    std::map<std::string, SpanStats> base, cur;
+    for (const SpanStats& s : aggregate_spans(broots)) base.emplace(s.name, s);
+    for (const SpanStats& s : aggregate_spans(croots)) cur.emplace(s.name, s);
+    const bool both_timed =
+        report_has_times(baseline) && report_has_times(current);
+    for (const auto& [name, bs] : base) {
+      const auto it = cur.find(name);
+      if (it == cur.end()) {
+        add_entry(res, DiffEntry::Kind::kSpanCount, name,
+                  static_cast<double>(bs.count), 0.0, Verdict::kRegress,
+                  "span missing from current report");
+        continue;
+      }
+      if (bs.count != it->second.count) {
+        add_entry(res, DiffEntry::Kind::kSpanCount, name,
+                  static_cast<double>(bs.count),
+                  static_cast<double>(it->second.count), Verdict::kRegress,
+                  "deterministic span count changed");
+      } else {
+        add_entry(res, DiffEntry::Kind::kSpanCount, name,
+                  static_cast<double>(bs.count),
+                  static_cast<double>(it->second.count), Verdict::kOk);
+      }
+      if (both_timed && (bs.total_seconds >= opts.min_seconds ||
+                         it->second.total_seconds >= opts.min_seconds)) {
+        std::string note;
+        const Verdict v = timing_verdict(bs.total_seconds,
+                                         it->second.total_seconds, opts, note);
+        add_entry(res, DiffEntry::Kind::kSpanTime, name, bs.total_seconds,
+                  it->second.total_seconds, v, std::move(note));
+      }
+    }
+    for (const auto& [name, cs] : cur)
+      if (base.find(name) == base.end())
+        add_entry(res, DiffEntry::Kind::kSpanCount, name, 0.0,
+                  static_cast<double>(cs.count), Verdict::kRegress,
+                  "span not in baseline (regenerate the baseline?)");
+  }
+
+  return res;
+}
+
+namespace {
+
+json::Value strip_span_times(const json::Value& span) {
+  json::Value out;
+  out.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : span.object) {
+    if (k == "seconds") continue;
+    if (k == "children" && v.is_array()) {
+      json::Value kids;
+      kids.kind = json::Value::Kind::kArray;
+      for (const json::Value& c : v.array)
+        kids.array.push_back(c.is_object() ? strip_span_times(c) : c);
+      out.object.emplace_back(k, std::move(kids));
+      continue;
+    }
+    out.object.emplace_back(k, v);
+  }
+  return out;
+}
+
+json::Value strip_metrics_times(const json::Value& metrics) {
+  json::Value out;
+  out.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : metrics.object) {
+    if (k == "gauges" && v.is_object()) {
+      json::Value gauges;
+      gauges.kind = json::Value::Kind::kObject;
+      for (const auto& [gk, gv] : v.object)
+        if (!is_timing_name(gk)) gauges.object.emplace_back(gk, gv);
+      out.object.emplace_back(k, std::move(gauges));
+      continue;
+    }
+    if (k == "histograms" && v.is_object()) {
+      json::Value hists;
+      hists.kind = json::Value::Kind::kObject;
+      for (const auto& [hk, hv] : v.object) {
+        if (!is_timing_name(hk) || !hv.is_object()) {
+          hists.object.emplace_back(hk, hv);
+          continue;
+        }
+        json::Value h;
+        h.kind = json::Value::Kind::kObject;
+        if (const json::Value* c = hv.find("count"))
+          h.object.emplace_back("count", *c);
+        hists.object.emplace_back(hk, std::move(h));
+      }
+      out.object.emplace_back(k, std::move(hists));
+      continue;
+    }
+    out.object.emplace_back(k, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+json::Value strip_times(const json::Value& report) {
+  if (!report.is_object()) return report;
+  json::Value out;
+  out.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : report.object) {
+    if (k == "trace" && v.is_array()) {
+      json::Value trace;
+      trace.kind = json::Value::Kind::kArray;
+      for (const json::Value& s : v.array)
+        trace.array.push_back(s.is_object() ? strip_span_times(s) : s);
+      out.object.emplace_back(k, std::move(trace));
+      continue;
+    }
+    if (k == "metrics" && v.is_object()) {
+      out.object.emplace_back(k, strip_metrics_times(v));
+      continue;
+    }
+    if (k == "meta" && v.is_object()) {
+      json::Value meta;
+      meta.kind = json::Value::Kind::kObject;
+      for (const auto& [mk, mv] : v.object)
+        if (!is_timing_name(mk)) meta.object.emplace_back(mk, mv);
+      out.object.emplace_back(k, std::move(meta));
+      continue;
+    }
+    out.object.emplace_back(k, v);
+  }
+  return out;
+}
+
+}  // namespace lac::obs

@@ -1,0 +1,78 @@
+// Diffing two lac-obs-report/1 documents, with verdicts a CI gate can
+// act on.
+//
+// The diff distinguishes two classes of data:
+//   * deterministic values — counters (mcf.augmentations, lac.rounds,
+//     route.nets, ...), histogram observation counts, per-name span
+//     counts, and non-timing gauges/sums.  The pipeline is seeded and
+//     single-threaded per plan, so these must match exactly between two
+//     runs of the same code; any mismatch is a hard kRegress.
+//   * timings — span wall times and any metric whose name contains
+//     "seconds".  These are compared per span *name* (aggregated totals)
+//     with a fractional tolerance and warn/fail tiers, and can be capped
+//     at kWarn for noisy shared CI runners (timings_warn_only).
+//
+// A baseline stripped of wall-clock data (`lacobs strip-times`, see
+// strip_times below) produces no timing comparisons at all: deterministic
+// structure is still enforced while nothing noisy is diffed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace lac::obs {
+
+// Ordered by severity; values double as the `lacobs diff` exit code.
+enum class Verdict { kOk = 0, kWarn = 1, kRegress = 2 };
+
+[[nodiscard]] const char* verdict_name(Verdict v);
+
+struct DiffOptions {
+  double time_warn_tol = 0.15;  // fractional timing delta above which kWarn
+  double time_fail_tol = 0.50;  // ... and above which kRegress
+  // Cap timing verdicts at kWarn (shared CI runners have noisy clocks;
+  // deterministic mismatches still fail hard).
+  bool timings_warn_only = false;
+  // Timing deltas where both sides are below this are ignored entirely.
+  double min_seconds = 1e-3;
+};
+
+struct DiffEntry {
+  enum class Kind { kCounter, kGauge, kHistogram, kSpanCount, kSpanTime };
+
+  Kind kind = Kind::kCounter;
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  Verdict verdict = Verdict::kOk;
+  std::string note;  // human-readable reason, set for non-kOk entries
+};
+
+struct DiffResult {
+  Verdict verdict = Verdict::kOk;  // max over entries
+  std::vector<DiffEntry> entries;
+
+  [[nodiscard]] int count(Verdict v) const;
+};
+
+// True for metric/span names carrying wall-clock data ("mcf.solve_seconds",
+// "lac.round_seconds", ...): the name contains "seconds".
+[[nodiscard]] bool is_timing_name(std::string_view name);
+
+// Diffs `current` against `baseline` (both parsed reports).
+[[nodiscard]] DiffResult diff_reports(const json::Value& baseline,
+                                      const json::Value& current,
+                                      const DiffOptions& opts = {});
+
+// Returns a copy of `report` with all wall-clock data removed, suitable
+// for checking in as a byte-stable CI baseline:
+//   * every span's "seconds" member is dropped (structure, names and
+//     annotations are kept — span counts stay enforceable);
+//   * timing histograms keep only their deterministic "count";
+//   * timing gauges and timing meta entries are dropped.
+[[nodiscard]] json::Value strip_times(const json::Value& report);
+
+}  // namespace lac::obs

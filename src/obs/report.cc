@@ -1,6 +1,10 @@
 #include "obs/report.h"
 
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "obs/obs.h"
 
@@ -118,12 +122,40 @@ std::string render_report(
 
 bool write_report(
     const std::string& path, std::string_view name,
-    const std::vector<std::pair<std::string, json::Value>>& meta) {
+    const std::vector<std::pair<std::string, json::Value>>& meta,
+    std::string* error) {
+  if (error != nullptr) error->clear();
+  // Render first: the trace must be drained even when the write fails.
   const std::string text = render_report(name, meta);
+
+  const std::filesystem::path fs_path(path);
+  if (const std::filesystem::path parent = fs_path.parent_path();
+      !parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      if (error != nullptr)
+        *error = "cannot create directory " + parent.string() + ": " +
+                 ec.message();
+      return false;
+    }
+  }
+
+  errno = 0;
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    if (error != nullptr)
+      *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
   out << text << '\n';
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr)
+      *error = "short write to " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace lac::obs

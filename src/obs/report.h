@@ -48,10 +48,13 @@ namespace lac::obs {
     std::string_view name,
     const std::vector<std::pair<std::string, json::Value>>& meta = {});
 
-// Renders and writes the report to `path`; false on I/O failure (the
-// trace is drained either way).
+// Renders and writes the report to `path`, creating missing parent
+// directories; false on I/O failure (the trace is drained either way).
+// When `error` is non-null it receives a description of the failure
+// (including strerror(errno) context) or is cleared on success.
 bool write_report(
     const std::string& path, std::string_view name,
-    const std::vector<std::pair<std::string, json::Value>>& meta = {});
+    const std::vector<std::pair<std::string, json::Value>>& meta = {},
+    std::string* error = nullptr);
 
 }  // namespace lac::obs

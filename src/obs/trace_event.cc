@@ -1,0 +1,143 @@
+#include "obs/trace_event.h"
+
+#include <utility>
+
+namespace lac::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+json::Value object() {
+  json::Value v;
+  v.kind = json::Value::Kind::kObject;
+  return v;
+}
+
+json::Value array() {
+  json::Value v;
+  v.kind = json::Value::Kind::kArray;
+  return v;
+}
+
+json::Value event(std::string_view name, const char* phase, double ts_us,
+                  int tid) {
+  json::Value e = object();
+  e.object.emplace_back("name", json::Value::of(name));
+  e.object.emplace_back("ph", json::Value::of(phase));
+  e.object.emplace_back("ts", json::Value::of(ts_us));
+  e.object.emplace_back("pid", json::Value::of(0));
+  e.object.emplace_back("tid", json::Value::of(tid));
+  return e;
+}
+
+json::Value counter_event(std::string_view name, double value) {
+  json::Value e = event(name, "C", 0.0, 0);
+  json::Value args = object();
+  args.object.emplace_back("value", json::Value::of(value));
+  e.object.emplace_back("args", std::move(args));
+  return e;
+}
+
+// Emits `span` (a report-JSON span object) as an "X" event starting at
+// `ts_us`, then its children back-to-back from the same origin.
+void emit_span(const json::Value& span, double ts_us, int tid,
+               json::Value& events) {
+  const json::Value* name = span.find("name");
+  if (name == nullptr || name->kind != json::Value::Kind::kString) return;
+  const json::Value* seconds = span.find("seconds");
+  const double dur_us =
+      (seconds != nullptr && seconds->kind == json::Value::Kind::kNumber)
+          ? seconds->num * kMicrosPerSecond
+          : 0.0;
+
+  json::Value e = event(name->str, "X", ts_us, tid);
+  e.object.emplace_back("dur", json::Value::of(dur_us));
+  if (const json::Value* ann = span.find("annotations");
+      ann != nullptr && ann->is_object())
+    e.object.emplace_back("args", *ann);
+  events.array.push_back(std::move(e));
+
+  if (const json::Value* kids = span.find("children");
+      kids != nullptr && kids->is_array()) {
+    double child_ts = ts_us;
+    for (const json::Value& c : kids->array) {
+      emit_span(c, child_ts, tid, events);
+      if (const json::Value* cs = c.find("seconds");
+          cs != nullptr && cs->kind == json::Value::Kind::kNumber)
+        child_ts += cs->num * kMicrosPerSecond;
+    }
+  }
+}
+
+}  // namespace
+
+json::Value to_trace_events(const json::Value& report) {
+  json::Value events = array();
+
+  const json::Value* report_name = report.find("name");
+  {
+    json::Value proc = event("process_name", "M", 0.0, 0);
+    json::Value args = object();
+    args.object.emplace_back(
+        "name", report_name != nullptr &&
+                        report_name->kind == json::Value::Kind::kString
+                    ? json::Value::of(report_name->str)
+                    : json::Value::of("lac-obs-report"));
+    proc.object.emplace_back("args", std::move(args));
+    events.array.push_back(std::move(proc));
+  }
+
+  if (const json::Value* trace = report.find("trace");
+      trace != nullptr && trace->is_array()) {
+    int tid = 1;
+    for (const json::Value& root : trace->array) {
+      if (const json::Value* rn = root.find("name");
+          rn != nullptr && rn->kind == json::Value::Kind::kString) {
+        json::Value meta = event("thread_name", "M", 0.0, tid);
+        json::Value args = object();
+        args.object.emplace_back("name", json::Value::of(rn->str));
+        meta.object.emplace_back("args", std::move(args));
+        events.array.push_back(std::move(meta));
+      }
+      emit_span(root, 0.0, tid, events);
+      ++tid;
+    }
+  }
+
+  if (const json::Value* counters = report.at_path({"metrics", "counters"});
+      counters != nullptr && counters->is_object())
+    for (const auto& [k, v] : counters->object)
+      if (v.kind == json::Value::Kind::kNumber)
+        events.array.push_back(counter_event(k, v.num));
+  if (const json::Value* gauges = report.at_path({"metrics", "gauges"});
+      gauges != nullptr && gauges->is_object())
+    for (const auto& [k, v] : gauges->object)
+      if (v.kind == json::Value::Kind::kNumber)
+        events.array.push_back(counter_event(k, v.num));
+  if (const json::Value* hists = report.at_path({"metrics", "histograms"});
+      hists != nullptr && hists->is_object())
+    for (const auto& [k, v] : hists->object) {
+      if (const json::Value* c = v.find("count");
+          c != nullptr && c->kind == json::Value::Kind::kNumber)
+        events.array.push_back(counter_event(k + ".count", c->num));
+      if (const json::Value* s = v.find("sum");
+          s != nullptr && s->kind == json::Value::Kind::kNumber)
+        events.array.push_back(counter_event(k + ".sum", s->num));
+    }
+
+  json::Value doc = object();
+  doc.object.emplace_back("traceEvents", std::move(events));
+  doc.object.emplace_back("displayTimeUnit", json::Value::of("ms"));
+  json::Value other = object();
+  other.object.emplace_back("source_schema",
+                            json::Value::of("lac-obs-report/1"));
+  doc.object.emplace_back("otherData", std::move(other));
+  return doc;
+}
+
+std::string render_trace_events(const json::Value& report) {
+  return json::serialize(to_trace_events(report));
+}
+
+}  // namespace lac::obs

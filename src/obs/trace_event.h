@@ -1,0 +1,30 @@
+// lac-obs-report/1 → Chrome trace-event JSON (the "JSON Object Format"
+// with a "traceEvents" array), loadable in Perfetto and chrome://tracing.
+//
+// Reports record durations, not absolute timestamps, so the timeline is
+// reconstructed deterministically:
+//   * each root span becomes its own track (tid = root index + 1, named
+//     by a "thread_name" metadata event) starting at t = 0;
+//   * children are laid out back-to-back from their parent's start, in
+//     recorded (completion) order, as complete ("X") events — a parent's
+//     self time therefore shows as the gap at the end of its bar;
+//   * span annotations become the event's "args";
+//   * counters and gauges become "C" counter events at t = 0, histograms
+//     two counter series (<name>.count / <name>.sum), so Perfetto renders
+//     metric tracks next to the trace.
+// Timestamps and durations are in microseconds per the spec.
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace lac::obs {
+
+// Converts a parsed report into the trace-event document.
+[[nodiscard]] json::Value to_trace_events(const json::Value& report);
+
+// to_trace_events() serialised to text.
+[[nodiscard]] std::string render_trace_events(const json::Value& report);
+
+}  // namespace lac::obs

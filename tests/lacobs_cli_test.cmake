@@ -1,0 +1,71 @@
+# CLI contract test for lacobs (and the bench binaries' usage path), run
+# via `cmake -P` so exact exit codes can be asserted (ctest's WILL_FAIL
+# only distinguishes zero from non-zero).
+#
+# Inputs: -DLACOBS=<lacobs binary> -DTABLE1=<table1_main binary>
+#         -DDATA_DIR=<tests/data> -DWORK_DIR=<scratch dir>
+
+function(run_expect code)
+  execute_process(COMMAND ${ARGN}
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT result EQUAL ${code})
+    message(FATAL_ERROR
+      "expected exit ${code}, got ${result} from: ${ARGN}\n"
+      "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(BASELINE "${DATA_DIR}/mini_baseline.json")
+set(REGRESS "${DATA_DIR}/mini_regress.json")
+
+# Usage path: --help succeeds, unknown commands/options exit 64.
+run_expect(0 ${LACOBS} --help)
+run_expect(0 ${LACOBS} help)
+run_expect(64 ${LACOBS})
+run_expect(64 ${LACOBS} --bogus)
+run_expect(64 ${LACOBS} frobnicate report.json)
+run_expect(64 ${LACOBS} diff only_one.json)
+run_expect(64 ${LACOBS} trace ${BASELINE} --bogus)
+# Unreadable input exits 66.
+run_expect(66 ${LACOBS} summary ${WORK_DIR}/does_not_exist.json)
+
+# Bench binaries share the usage contract (and --help must not start the
+# one-minute suite run).
+run_expect(0 ${TABLE1} --help)
+run_expect(64 ${TABLE1} --bogus)
+run_expect(64 ${TABLE1} out_a out_b)
+run_expect(64 ${TABLE1} --limit notanumber)
+
+# diff: clean self-diff, exit 2 when a deterministic counter
+# (mcf.augmentations) was doctored — timings alone must not mask it even
+# with --timings-warn-only.
+run_expect(0 ${LACOBS} diff ${BASELINE} ${BASELINE})
+run_expect(2 ${LACOBS} diff ${BASELINE} ${REGRESS})
+run_expect(2 ${LACOBS} diff ${BASELINE} ${REGRESS} --timings-warn-only)
+
+# trace: writes a loadable Chrome trace-event document.
+run_expect(0 ${LACOBS} trace ${REGRESS} -o ${WORK_DIR}/trace.json)
+file(READ "${WORK_DIR}/trace.json" trace_text)
+if(NOT trace_text MATCHES "\"traceEvents\":\\[")
+  message(FATAL_ERROR "trace output lacks traceEvents array:\n${trace_text}")
+endif()
+
+# strip-times: output re-diffs cleanly against the original and carries
+# no span "seconds" members.
+run_expect(0 ${LACOBS} strip-times ${REGRESS} -o ${WORK_DIR}/stripped.json)
+file(READ "${WORK_DIR}/stripped.json" stripped_text)
+if(stripped_text MATCHES "\"seconds\":")
+  message(FATAL_ERROR "strip-times left wall-clock data:\n${stripped_text}")
+endif()
+run_expect(0 ${LACOBS} diff ${WORK_DIR}/stripped.json ${REGRESS})
+
+# summary works on plain and stripped reports.
+run_expect(0 ${LACOBS} summary ${REGRESS})
+run_expect(0 ${LACOBS} summary ${BASELINE} ${REGRESS})
+
+message(STATUS "lacobs CLI contract ok")

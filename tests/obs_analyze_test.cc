@@ -1,0 +1,137 @@
+// Tests for the report-analysis layer: span-tree re-hydration from
+// report JSON, self time, per-name aggregation, and the critical chain.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/analyze.h"
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace lac::obs {
+namespace {
+
+SpanNode make_span(std::string name, double seconds) {
+  SpanNode n;
+  n.name = std::move(name);
+  n.seconds = seconds;
+  return n;
+}
+
+TEST(AnalyzeTest, SpanJsonRoundTrip) {
+  SpanNode root = make_span("root", 2.0);
+  Annotation a;
+  a.key = "circuit";
+  a.kind = Annotation::Kind::kString;
+  a.s = "y641";
+  root.annotations.push_back(a);
+  root.children.push_back(make_span("child", 0.5));
+
+  const auto back = span_from_json(span_to_json(root));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, "root");
+  EXPECT_DOUBLE_EQ(back->seconds, 2.0);
+  ASSERT_EQ(back->children.size(), 1u);
+  EXPECT_EQ(back->children[0].name, "child");
+  const Annotation* ann = back->find_annotation("circuit");
+  ASSERT_NE(ann, nullptr);
+  EXPECT_EQ(ann->s, "y641");
+}
+
+TEST(AnalyzeTest, SpanFromJsonRejectsNonSpans) {
+  EXPECT_FALSE(span_from_json(json::Value::of(3)).has_value());
+  EXPECT_FALSE(span_from_json(*json::parse("{}")).has_value());
+  EXPECT_FALSE(span_from_json(*json::parse(R"({"name": 5})")).has_value());
+}
+
+TEST(AnalyzeTest, StrippedSpanComesBackWithZeroSeconds) {
+  const auto v = json::parse(R"({"name": "bare"})");
+  ASSERT_TRUE(v.has_value());
+  const auto span = span_from_json(*v);
+  ASSERT_TRUE(span.has_value());
+  EXPECT_DOUBLE_EQ(span->seconds, 0.0);
+}
+
+TEST(AnalyzeTest, SelfTimeExcludesChildrenAndClampsAtZero) {
+  SpanNode root = make_span("root", 1.0);
+  root.children.push_back(make_span("a", 0.3));
+  root.children.push_back(make_span("b", 0.5));
+  EXPECT_NEAR(self_seconds(root), 0.2, 1e-12);
+
+  // Children can exceed the parent reading by a clock quantum.
+  SpanNode tight = make_span("tight", 0.1);
+  tight.children.push_back(make_span("c", 0.11));
+  EXPECT_DOUBLE_EQ(self_seconds(tight), 0.0);
+}
+
+TEST(AnalyzeTest, AggregateGroupsByNameAcrossRoots) {
+  std::vector<SpanNode> roots;
+  SpanNode r1 = make_span("plan", 1.0);
+  r1.children.push_back(make_span("solve", 0.4));
+  r1.children.push_back(make_span("solve", 0.2));
+  roots.push_back(std::move(r1));
+  roots.push_back(make_span("plan", 2.0));
+
+  const auto stats = aggregate_spans(roots);
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by total descending: plan (3.0) before solve (0.6).
+  EXPECT_EQ(stats[0].name, "plan");
+  EXPECT_EQ(stats[0].count, 2);
+  EXPECT_NEAR(stats[0].total_seconds, 3.0, 1e-12);
+  EXPECT_NEAR(stats[0].self_seconds, 2.4, 1e-12);  // 0.4 + 2.0
+  EXPECT_NEAR(stats[0].min_seconds, 1.0, 1e-12);
+  EXPECT_NEAR(stats[0].max_seconds, 2.0, 1e-12);
+  EXPECT_NEAR(stats[0].mean_seconds(), 1.5, 1e-12);
+  EXPECT_EQ(stats[1].name, "solve");
+  EXPECT_EQ(stats[1].count, 2);
+  EXPECT_NEAR(stats[1].total_seconds, 0.6, 1e-12);
+  EXPECT_NEAR(stats[1].self_seconds, 0.6, 1e-12);
+}
+
+TEST(AnalyzeTest, CriticalChainFollowsHottestChild) {
+  std::vector<SpanNode> roots;
+  roots.push_back(make_span("cold_root", 0.5));
+  SpanNode hot = make_span("hot_root", 2.0);
+  SpanNode mid = make_span("mid", 1.5);
+  mid.children.push_back(make_span("leaf_cold", 0.1));
+  mid.children.push_back(make_span("leaf_hot", 1.2));
+  hot.children.push_back(std::move(mid));
+  hot.children.push_back(make_span("side", 0.2));
+  roots.push_back(std::move(hot));
+
+  const auto chain = critical_chain(roots);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0]->name, "hot_root");
+  EXPECT_EQ(chain[1]->name, "mid");
+  EXPECT_EQ(chain[2]->name, "leaf_hot");
+
+  EXPECT_TRUE(critical_chain({}).empty());
+}
+
+TEST(AnalyzeTest, TraceFromReportAndHasTimes) {
+  const auto report = json::parse(R"({
+    "schema": "lac-obs-report/1",
+    "trace": [
+      {"name": "a", "seconds": 1.0, "children": [{"name": "b",
+       "seconds": 0.5}]},
+      {"name": "c", "seconds": 2.0},
+      17
+    ]
+  })");
+  ASSERT_TRUE(report.has_value());
+  const auto roots = trace_from_report(*report);
+  ASSERT_EQ(roots.size(), 2u);  // the malformed entry is skipped
+  EXPECT_EQ(roots[0].name, "a");
+  EXPECT_EQ(roots[1].name, "c");
+  EXPECT_TRUE(report_has_times(*report));
+
+  const auto stripped = json::parse(R"({
+    "trace": [{"name": "a", "children": [{"name": "b"}]}]
+  })");
+  ASSERT_TRUE(stripped.has_value());
+  EXPECT_FALSE(report_has_times(*stripped));
+  EXPECT_TRUE(trace_from_report(*json::parse("{}")).empty());
+}
+
+}  // namespace
+}  // namespace lac::obs

@@ -1,0 +1,238 @@
+// Tests for report diffing: deterministic counters hard-fail, timings
+// get tolerance tiers, stripped baselines suppress timing comparisons,
+// and strip_times produces byte-stable baseline documents.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/compare.h"
+#include "obs/json.h"
+
+namespace lac::obs {
+namespace {
+
+json::Value parse_or_die(const std::string& text) {
+  auto v = json::parse(text);
+  EXPECT_TRUE(v.has_value()) << text;
+  return *v;
+}
+
+json::Value base_report() {
+  return parse_or_die(R"({
+    "schema": "lac-obs-report/1",
+    "name": "bench",
+    "meta": {"circuits": 4, "total_exec_seconds": 12.5},
+    "trace": [
+      {"name": "plan", "seconds": 1.0,
+       "children": [{"name": "solve", "seconds": 0.4},
+                    {"name": "solve", "seconds": 0.4}]}
+    ],
+    "metrics": {
+      "counters": {"mcf.augmentations": 1704, "lac.rounds": 3},
+      "gauges": {"route.max_usage": 1.25},
+      "histograms": {
+        "mcf.solve_seconds": {"count": 2, "sum": 0.8},
+        "lac.round_n_foa": {"count": 3, "sum": 21.0}
+      }
+    }
+  })");
+}
+
+TEST(CompareTest, IdenticalReportsAreClean) {
+  const DiffResult res = diff_reports(base_report(), base_report());
+  EXPECT_EQ(res.verdict, Verdict::kOk);
+  EXPECT_GT(res.entries.size(), 0u);
+  EXPECT_EQ(res.count(Verdict::kWarn), 0);
+  EXPECT_EQ(res.count(Verdict::kRegress), 0);
+}
+
+TEST(CompareTest, DoctoredDeterministicCounterRegresses) {
+  json::Value current = base_report();
+  json::Value* c = const_cast<json::Value*>(
+      current.at_path({"metrics", "counters", "mcf.augmentations"}));
+  ASSERT_NE(c, nullptr);
+  c->num = 1709;
+  const DiffResult res = diff_reports(base_report(), current);
+  EXPECT_EQ(res.verdict, Verdict::kRegress);
+  bool found = false;
+  for (const DiffEntry& e : res.entries)
+    if (e.name == "mcf.augmentations") {
+      found = true;
+      EXPECT_EQ(e.verdict, Verdict::kRegress);
+      EXPECT_EQ(e.kind, DiffEntry::Kind::kCounter);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(CompareTest, MissingAndExtraCountersRegress) {
+  json::Value current = base_report();
+  auto& counters = const_cast<json::Value*>(
+                       current.at_path({"metrics", "counters"}))
+                       ->object;
+  counters.erase(counters.begin());  // drop lac.rounds or mcf.*
+  counters.emplace_back("route.new_counter", json::Value::of(5));
+  const DiffResult res = diff_reports(base_report(), current);
+  EXPECT_EQ(res.verdict, Verdict::kRegress);
+  EXPECT_GE(res.count(Verdict::kRegress), 2);
+}
+
+TEST(CompareTest, TimingTiersWarnThenFail) {
+  DiffOptions opts;
+  // +20%: above the 15% warn tier, below the 50% fail tier.
+  const DiffResult r1 = diff_reports(
+      parse_or_die(R"({"trace": [{"name": "plan", "seconds": 1.0}]})"),
+      parse_or_die(R"({"trace": [{"name": "plan", "seconds": 1.2}]})"), opts);
+  EXPECT_EQ(r1.verdict, Verdict::kWarn);
+
+  const DiffResult r2 = diff_reports(
+      parse_or_die(R"({"trace": [{"name": "plan", "seconds": 1.0}]})"),
+      parse_or_die(R"({"trace": [{"name": "plan", "seconds": 2.0}]})"), opts);
+  EXPECT_EQ(r2.verdict, Verdict::kRegress);
+
+  opts.timings_warn_only = true;
+  const DiffResult r3 = diff_reports(
+      parse_or_die(R"({"trace": [{"name": "plan", "seconds": 1.0}]})"),
+      parse_or_die(R"({"trace": [{"name": "plan", "seconds": 2.0}]})"), opts);
+  EXPECT_EQ(r3.verdict, Verdict::kWarn);
+
+  // Small deltas stay clean.
+  const DiffResult r4 = diff_reports(
+      parse_or_die(R"({"trace": [{"name": "plan", "seconds": 1.0}]})"),
+      parse_or_die(R"({"trace": [{"name": "plan", "seconds": 1.05}]})"),
+      DiffOptions{});
+  EXPECT_EQ(r4.verdict, Verdict::kOk);
+}
+
+TEST(CompareTest, TinyTimingsAreIgnored) {
+  // Both sides below min_seconds: a 10x swing on a microsecond span is
+  // clock noise, not a regression.
+  const DiffResult res = diff_reports(
+      parse_or_die(R"({"trace": [{"name": "p", "seconds": 1e-5}]})"),
+      parse_or_die(R"({"trace": [{"name": "p", "seconds": 1e-4}]})"));
+  EXPECT_EQ(res.verdict, Verdict::kOk);
+}
+
+TEST(CompareTest, StrippedBaselineSuppressesTimingsButKeepsStructure) {
+  const json::Value stripped = strip_times(base_report());
+  json::Value current = base_report();
+
+  // Timings wildly different from (absent) baseline: still clean.
+  DiffResult res = diff_reports(stripped, current);
+  EXPECT_EQ(res.verdict, Verdict::kOk);
+  for (const DiffEntry& e : res.entries)
+    EXPECT_NE(e.kind, DiffEntry::Kind::kSpanTime);
+
+  // ... while a doctored counter still hard-fails.
+  json::Value* c = const_cast<json::Value*>(
+      current.at_path({"metrics", "counters", "lac.rounds"}));
+  c->num = 4;
+  res = diff_reports(stripped, current);
+  EXPECT_EQ(res.verdict, Verdict::kRegress);
+
+  // ... and so does a changed span count (structure is deterministic).
+  json::Value extra_span = base_report();
+  const_cast<json::Value*>(extra_span.find("trace"))
+      ->array.push_back(parse_or_die(R"({"name": "plan", "seconds": 1.0})"));
+  res = diff_reports(stripped, extra_span);
+  EXPECT_EQ(res.verdict, Verdict::kRegress);
+}
+
+TEST(CompareTest, HistogramCountsAreDeterministicSumsAreTimings) {
+  json::Value current = base_report();
+  // A timing histogram's sum may drift within tolerance...
+  json::Value* sum = const_cast<json::Value*>(
+      current.at_path({"metrics", "histograms", "mcf.solve_seconds", "sum"}));
+  sum->num = 0.85;  // ~6% over
+  EXPECT_EQ(diff_reports(base_report(), current).verdict, Verdict::kOk);
+  // ... but its observation count is exact.
+  json::Value* count = const_cast<json::Value*>(current.at_path(
+      {"metrics", "histograms", "mcf.solve_seconds", "count"}));
+  count->num = 3;
+  EXPECT_EQ(diff_reports(base_report(), current).verdict, Verdict::kRegress);
+
+  // A non-timing histogram sum is deterministic.
+  json::Value current2 = base_report();
+  json::Value* nfoa = const_cast<json::Value*>(
+      current2.at_path({"metrics", "histograms", "lac.round_n_foa", "sum"}));
+  nfoa->num = 22.0;
+  EXPECT_EQ(diff_reports(base_report(), current2).verdict, Verdict::kRegress);
+}
+
+TEST(CompareTest, NonTimingGaugeIsDeterministic) {
+  json::Value current = base_report();
+  json::Value* g = const_cast<json::Value*>(
+      current.at_path({"metrics", "gauges", "route.max_usage"}));
+  g->num = 1.3;
+  EXPECT_EQ(diff_reports(base_report(), current).verdict, Verdict::kRegress);
+}
+
+TEST(CompareTest, EmptyReportsDiffCleanly) {
+  const json::Value empty = parse_or_die("{}");
+  const DiffResult res = diff_reports(empty, empty);
+  EXPECT_EQ(res.verdict, Verdict::kOk);
+  EXPECT_TRUE(res.entries.empty());
+
+  // Empty baseline vs a real report: everything is "not in baseline".
+  const DiffResult res2 = diff_reports(empty, base_report());
+  EXPECT_EQ(res2.verdict, Verdict::kRegress);
+}
+
+TEST(CompareTest, NullMetricValuesAreTolerated) {
+  // The writer emits null for NaN/Inf gauges (json.cc append_number);
+  // diffing such a report must not crash or fabricate comparisons.
+  const json::Value withnull = parse_or_die(R"({
+    "metrics": {"gauges": {"weird.gauge": null},
+                "counters": {"c": 1}}
+  })");
+  const DiffResult res = diff_reports(withnull, withnull);
+  EXPECT_EQ(res.verdict, Verdict::kOk);
+  for (const DiffEntry& e : res.entries) EXPECT_NE(e.name, "weird.gauge");
+}
+
+TEST(CompareTest, StripTimesRemovesWallClockData) {
+  const json::Value stripped = strip_times(base_report());
+
+  // Span structure survives, seconds do not.
+  const json::Value* plan = &stripped.find("trace")->array[0];
+  EXPECT_EQ(plan->find("name")->str, "plan");
+  EXPECT_EQ(plan->find("seconds"), nullptr);
+  EXPECT_EQ(plan->find("children")->array.size(), 2u);
+  EXPECT_EQ(plan->find("children")->array[0].find("seconds"), nullptr);
+
+  // Timing histogram keeps only its deterministic count.
+  const json::Value* h =
+      stripped.at_path({"metrics", "histograms", "mcf.solve_seconds"});
+  ASSERT_NE(h, nullptr);
+  EXPECT_NE(h->find("count"), nullptr);
+  EXPECT_EQ(h->find("sum"), nullptr);
+  // Non-timing histogram is untouched.
+  const json::Value* nh =
+      stripped.at_path({"metrics", "histograms", "lac.round_n_foa"});
+  ASSERT_NE(nh, nullptr);
+  EXPECT_NE(nh->find("sum"), nullptr);
+
+  // Timing meta dropped, the rest kept.
+  EXPECT_EQ(stripped.at_path({"meta", "total_exec_seconds"}), nullptr);
+  EXPECT_NE(stripped.at_path({"meta", "circuits"}), nullptr);
+
+  // Counters and non-timing gauges intact.
+  EXPECT_NE(stripped.at_path({"metrics", "counters", "mcf.augmentations"}),
+            nullptr);
+  EXPECT_NE(stripped.at_path({"metrics", "gauges", "route.max_usage"}),
+            nullptr);
+
+  // Idempotent and serialisable.
+  EXPECT_EQ(json::serialize(strip_times(stripped)),
+            json::serialize(stripped));
+}
+
+TEST(CompareTest, TimingNamePredicate) {
+  EXPECT_TRUE(is_timing_name("mcf.solve_seconds"));
+  EXPECT_TRUE(is_timing_name("lac.round_seconds"));
+  EXPECT_TRUE(is_timing_name("total_exec_seconds"));
+  EXPECT_FALSE(is_timing_name("mcf.augmentations"));
+  EXPECT_FALSE(is_timing_name("lac.round_n_foa"));
+}
+
+}  // namespace
+}  // namespace lac::obs

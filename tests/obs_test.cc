@@ -2,7 +2,11 @@
 // round-trips, metric accumulation, report structure, and the
 // disabled-path no-allocation guarantee.
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
 #include <new>
 #include <string>
 #include <thread>
@@ -284,6 +288,81 @@ TEST_F(ObsTest, ReportContainsTraceAndMetrics) {
   EXPECT_TRUE(empty->find("trace")->array.empty());
 }
 
+TEST(JsonTest, ControlCharacterAndNonAsciiRoundTrips) {
+  // Every byte below 0x20 must escape and come back identical.
+  std::string wild;
+  for (int c = 1; c < 0x20; ++c) wild += static_cast<char>(c);
+  wild += "café ☕ 日本語";
+  json::Writer w;
+  w.begin_object();
+  w.kv("s", std::string_view(wild));
+  w.end_object();
+  const auto v = json::parse(w.take());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("s")->str, wild);
+
+  // \u escapes, including a surrogate pair, decode to UTF-8.
+  const auto esc = json::parse(R"(["\u00e9", "\ud83d\ude00", "\u0001"])");
+  ASSERT_TRUE(esc.has_value());
+  EXPECT_EQ(esc->array[0].str, "\xc3\xa9");
+  EXPECT_EQ(esc->array[1].str, "\xf0\x9f\x98\x80");
+  EXPECT_EQ(esc->array[2].str, "\x01");
+  // Lone surrogates are malformed.
+  EXPECT_FALSE(json::parse(R"(["\ud800"])").has_value());
+}
+
+TEST(JsonTest, DeepNestingParsesUpToTheRecursionLimit) {
+  const auto nested = [](int depth) {
+    std::string s(static_cast<std::size_t>(depth), '[');
+    s += "1";
+    s.append(static_cast<std::size_t>(depth), ']');
+    return s;
+  };
+  const auto ok = json::parse(nested(100));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(json::parse(json::serialize(*ok)).has_value(), true);
+  EXPECT_FALSE(json::parse(nested(400)).has_value());
+}
+
+TEST_F(ObsTest, NanAndInfGaugesSerializeAsNull) {
+  gauge("edge.nan", std::nan(""));
+  gauge("edge.inf", std::numeric_limits<double>::infinity());
+  gauge("edge.fine", 2.5);
+  const std::string text = render_report("edge");
+  // The writer has no Inf/NaN literal: both become null, and the
+  // document still parses.
+  const auto doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  const auto* nan_v = doc->at_path({"metrics", "gauges", "edge.nan"});
+  ASSERT_NE(nan_v, nullptr);
+  EXPECT_EQ(nan_v->kind, json::Value::Kind::kNull);
+  const auto* inf_v = doc->at_path({"metrics", "gauges", "edge.inf"});
+  ASSERT_NE(inf_v, nullptr);
+  EXPECT_EQ(inf_v->kind, json::Value::Kind::kNull);
+  EXPECT_DOUBLE_EQ(doc->at_path({"metrics", "gauges", "edge.fine"})->num,
+                   2.5);
+}
+
+TEST_F(ObsTest, DeeplyNestedSpanTreeRoundTripsThroughReport) {
+  constexpr int kDepth = 50;
+  const std::function<void(int)> recurse = [&](int n) {
+    if (n == 0) return;
+    Span s("deep");
+    recurse(n - 1);
+  };
+  recurse(kDepth);
+  const auto doc = json::parse(render_report("deep"));
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* cur = &doc->find("trace")->array[0];
+  int depth = 1;
+  while (const json::Value* kids = cur->find("children")) {
+    cur = &kids->array[0];
+    ++depth;
+  }
+  EXPECT_EQ(depth, kDepth);
+  EXPECT_EQ(cur->find("name")->str, "deep");
+}
+
 TEST_F(ObsTest, WriteReportRoundTripsThroughParseFile) {
   { Span s("file_root"); }
   const std::string path =
@@ -294,6 +373,33 @@ TEST_F(ObsTest, WriteReportRoundTripsThroughParseFile) {
   EXPECT_EQ(doc->find("name")->str, "file_test");
   EXPECT_EQ(doc->find("trace")->array[0].find("name")->str, "file_root");
   EXPECT_FALSE(json::parse_file(path + ".missing").has_value());
+}
+
+TEST_F(ObsTest, WriteReportCreatesMissingParentDirectories) {
+  { Span s("nested_root"); }
+  const std::string path =
+      ::testing::TempDir() + "/obs_nested/a/b/report.json";
+  std::string error = "stale";
+  ASSERT_TRUE(write_report(path, "nested", {}, &error));
+  EXPECT_TRUE(error.empty());
+  const auto doc = json::parse_file(path);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("name")->str, "nested");
+}
+
+TEST_F(ObsTest, WriteReportFailureCarriesErrorContext) {
+  // A regular file as a path component defeats create_directories even
+  // for root, unlike permission bits.
+  const std::string blocker = ::testing::TempDir() + "/obs_blocker";
+  {
+    std::ofstream f(blocker);
+    f << "not a directory\n";
+  }
+  std::string error;
+  EXPECT_FALSE(
+      write_report(blocker + "/sub/report.json", "blocked", {}, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find(blocker), std::string::npos) << error;
 }
 
 }  // namespace

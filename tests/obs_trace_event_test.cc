@@ -1,0 +1,146 @@
+// Tests for the Chrome trace-event exporter: document shape, required
+// event fields, deterministic timeline layout, per-root tracks, and the
+// metric counter events.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/trace_event.h"
+
+namespace lac::obs {
+namespace {
+
+const json::Value* find_event(const json::Value& doc, std::string_view name,
+                              std::string_view phase) {
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return nullptr;
+  for (const json::Value& e : events->array) {
+    const json::Value* en = e.find("name");
+    const json::Value* ph = e.find("ph");
+    if (en != nullptr && ph != nullptr && en->str == name &&
+        ph->str == phase)
+      return &e;
+  }
+  return nullptr;
+}
+
+json::Value sample_report() {
+  const auto doc = json::parse(R"({
+    "schema": "lac-obs-report/1",
+    "name": "unit",
+    "trace": [
+      {"name": "plan", "seconds": 1.0,
+       "annotations": {"circuit": "y641", "blocks": 9},
+       "children": [
+         {"name": "partition", "seconds": 0.25},
+         {"name": "route", "seconds": 0.5,
+          "children": [{"name": "ripup", "seconds": 0.1}]}
+       ]},
+      {"name": "replan", "seconds": 0.5}
+    ],
+    "metrics": {
+      "counters": {"mcf.augmentations": 1704},
+      "gauges": {"route.max_usage": 1.25},
+      "histograms": {"mcf.solve_seconds": {"count": 2, "sum": 0.49}}
+    }
+  })");
+  return *doc;
+}
+
+TEST(TraceEventTest, EveryEventHasRequiredFields) {
+  const json::Value doc = to_trace_events(sample_report());
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  EXPECT_FALSE(events->array.empty());
+  for (const json::Value& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    for (const char* field : {"name", "ph", "ts", "pid", "tid"})
+      ASSERT_NE(e.find(field), nullptr) << "missing " << field;
+    const std::string& ph = e.find("ph")->str;
+    EXPECT_TRUE(ph == "X" || ph == "M" || ph == "C") << ph;
+    if (ph == "X") {
+      ASSERT_NE(e.find("dur"), nullptr);
+    }
+  }
+  // Round-trips through the serializer as valid JSON.
+  EXPECT_TRUE(json::parse(render_trace_events(sample_report())).has_value());
+}
+
+TEST(TraceEventTest, ChildrenLaidOutBackToBackFromParentStart) {
+  const json::Value doc = to_trace_events(sample_report());
+  const json::Value* plan = find_event(doc, "plan", "X");
+  const json::Value* partition = find_event(doc, "partition", "X");
+  const json::Value* route = find_event(doc, "route", "X");
+  const json::Value* ripup = find_event(doc, "ripup", "X");
+  ASSERT_TRUE(plan && partition && route && ripup);
+
+  EXPECT_DOUBLE_EQ(plan->find("ts")->num, 0.0);
+  EXPECT_DOUBLE_EQ(plan->find("dur")->num, 1e6);
+  // partition starts with its parent, route after partition's 0.25 s.
+  EXPECT_DOUBLE_EQ(partition->find("ts")->num, 0.0);
+  EXPECT_DOUBLE_EQ(route->find("ts")->num, 0.25e6);
+  // ripup nests from route's start.
+  EXPECT_DOUBLE_EQ(ripup->find("ts")->num, 0.25e6);
+  // All four share the first root's track.
+  const double tid = plan->find("tid")->num;
+  EXPECT_DOUBLE_EQ(partition->find("tid")->num, tid);
+  EXPECT_DOUBLE_EQ(route->find("tid")->num, tid);
+  EXPECT_DOUBLE_EQ(ripup->find("tid")->num, tid);
+}
+
+TEST(TraceEventTest, EachRootGetsItsOwnNamedTrack) {
+  const json::Value doc = to_trace_events(sample_report());
+  const json::Value* plan = find_event(doc, "plan", "X");
+  const json::Value* replan = find_event(doc, "replan", "X");
+  ASSERT_TRUE(plan && replan);
+  EXPECT_NE(plan->find("tid")->num, replan->find("tid")->num);
+
+  // thread_name metadata events label the tracks.
+  const json::Value* events = doc.find("traceEvents");
+  std::set<std::string> track_names;
+  for (const json::Value& e : events->array)
+    if (e.find("ph")->str == "M" && e.find("name")->str == "thread_name")
+      track_names.insert(e.at_path({"args", "name"})->str);
+  EXPECT_TRUE(track_names.count("plan"));
+  EXPECT_TRUE(track_names.count("replan"));
+}
+
+TEST(TraceEventTest, AnnotationsBecomeArgs) {
+  const json::Value doc = to_trace_events(sample_report());
+  const json::Value* plan = find_event(doc, "plan", "X");
+  ASSERT_NE(plan, nullptr);
+  const json::Value* circuit = plan->at_path({"args", "circuit"});
+  ASSERT_NE(circuit, nullptr);
+  EXPECT_EQ(circuit->str, "y641");
+  EXPECT_DOUBLE_EQ(plan->at_path({"args", "blocks"})->num, 9.0);
+}
+
+TEST(TraceEventTest, MetricsBecomeCounterEvents) {
+  const json::Value doc = to_trace_events(sample_report());
+  const json::Value* c = find_event(doc, "mcf.augmentations", "C");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->at_path({"args", "value"})->num, 1704.0);
+  const json::Value* g = find_event(doc, "route.max_usage", "C");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->at_path({"args", "value"})->num, 1.25);
+  const json::Value* hc = find_event(doc, "mcf.solve_seconds.count", "C");
+  ASSERT_NE(hc, nullptr);
+  EXPECT_DOUBLE_EQ(hc->at_path({"args", "value"})->num, 2.0);
+  ASSERT_NE(find_event(doc, "mcf.solve_seconds.sum", "C"), nullptr);
+}
+
+TEST(TraceEventTest, EmptyReportStillProducesValidDocument) {
+  const auto empty = json::parse(R"({"name": "empty"})");
+  const json::Value doc = to_trace_events(*empty);
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  // Only the process_name metadata event.
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].find("ph")->str, "M");
+  EXPECT_EQ(doc.find("displayTimeUnit")->str, "ms");
+}
+
+}  // namespace
+}  // namespace lac::obs

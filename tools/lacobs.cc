@@ -1,0 +1,312 @@
+// lacobs — analysis CLI for lac-obs-report/1 run reports.
+//
+//   lacobs trace <report.json> [-o out.json]
+//       Convert the report's span tree + metrics into Chrome trace-event
+//       JSON (open in Perfetto / chrome://tracing).  Defaults to stdout.
+//   lacobs summary <report.json...>
+//       Aggregate per-span-name table (count/total/self/min/max/mean)
+//       across all given reports, the critical chain, and the counters.
+//   lacobs diff <baseline.json> <report.json> [--time-tol F]
+//         [--time-fail F] [--timings-warn-only] [--min-seconds S]
+//       Diff a report against a baseline.  Exit 0 when clean, 1 on
+//       timing warnings, 2 on a regression (deterministic mismatch or a
+//       timing past the fail tier) — CI gates on the exit code.
+//   lacobs strip-times <report.json> [-o out.json]
+//       Copy of the report with wall-clock data removed, for checking in
+//       as a byte-stable baseline.
+//
+// Exit codes: 0 ok · 1 diff warnings · 2 diff regression · 64 usage
+// error · 66 unreadable/unparseable input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/str_util.h"
+#include "base/table.h"
+#include "obs/analyze.h"
+#include "obs/compare.h"
+#include "obs/json.h"
+#include "obs/trace_event.h"
+
+namespace {
+
+using namespace lac;
+
+constexpr int kExitOk = 0;
+constexpr int kExitWarn = 1;
+constexpr int kExitRegress = 2;
+constexpr int kExitUsage = 64;    // EX_USAGE
+constexpr int kExitNoInput = 66;  // EX_NOINPUT
+
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: lacobs <command> [args]\n"
+               "\n"
+               "commands:\n"
+               "  trace <report.json> [-o out.json]\n"
+               "      convert a lac-obs-report/1 file to Chrome "
+               "trace-event JSON\n"
+               "      (Perfetto / chrome://tracing); stdout by default\n"
+               "  summary <report.json...>\n"
+               "      aggregate span table, critical chain and counters "
+               "across runs\n"
+               "  diff <baseline.json> <report.json> [--time-tol F] "
+               "[--time-fail F]\n"
+               "       [--timings-warn-only] [--min-seconds S]\n"
+               "      compare against a baseline; exit 0 ok, 1 warnings, "
+               "2 regression\n"
+               "  strip-times <report.json> [-o out.json]\n"
+               "      drop wall-clock data so the report can serve as a "
+               "CI baseline\n"
+               "  help | --help | -h\n");
+}
+
+int usage_error(const std::string& msg) {
+  std::fprintf(stderr, "lacobs: %s\n", msg.c_str());
+  print_usage(stderr);
+  return kExitUsage;
+}
+
+// Loads and parses a report, exiting the command with kExitNoInput via
+// the returned flag when it cannot be read.
+bool load_report(const std::string& path, obs::json::Value& out) {
+  auto doc = obs::json::parse_file(path);
+  if (!doc) {
+    std::fprintf(stderr, "lacobs: cannot read or parse %s\n", path.c_str());
+    return false;
+  }
+  out = std::move(*doc);
+  return true;
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text << '\n';
+  return static_cast<bool>(out);
+}
+
+// Renders `text` to `-o` target when given, stdout otherwise.
+int emit(const std::string& out_path, const std::string& text) {
+  if (out_path.empty()) {
+    std::printf("%s\n", text.c_str());
+    return kExitOk;
+  }
+  if (!write_text(out_path, text)) {
+    std::fprintf(stderr, "lacobs: cannot write %s\n", out_path.c_str());
+    return kExitNoInput;
+  }
+  return kExitOk;
+}
+
+// Parses `<report> [-o out]` for trace / strip-times.
+bool parse_report_and_output(const std::vector<std::string>& args,
+                             std::string& report, std::string& out,
+                             std::string& err) {
+  report.clear();
+  out.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" || args[i] == "--output") {
+      if (i + 1 >= args.size()) {
+        err = args[i] + " needs a path";
+        return false;
+      }
+      out = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      err = "unknown option " + args[i];
+      return false;
+    } else if (report.empty()) {
+      report = args[i];
+    } else {
+      err = "unexpected argument " + args[i];
+      return false;
+    }
+  }
+  if (report.empty()) {
+    err = "missing report path";
+    return false;
+  }
+  return true;
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  std::string report_path, out_path, err;
+  if (!parse_report_and_output(args, report_path, out_path, err))
+    return usage_error("trace: " + err);
+  obs::json::Value report;
+  if (!load_report(report_path, report)) return kExitNoInput;
+  return emit(out_path, obs::render_trace_events(report));
+}
+
+int cmd_strip_times(const std::vector<std::string>& args) {
+  std::string report_path, out_path, err;
+  if (!parse_report_and_output(args, report_path, out_path, err))
+    return usage_error("strip-times: " + err);
+  obs::json::Value report;
+  if (!load_report(report_path, report)) return kExitNoInput;
+  return emit(out_path, obs::json::serialize(obs::strip_times(report)));
+}
+
+int cmd_summary(const std::vector<std::string>& args) {
+  if (args.empty()) return usage_error("summary: missing report path");
+  for (const std::string& a : args)
+    if (!a.empty() && a[0] == '-')
+      return usage_error("summary: unknown option " + a);
+
+  std::vector<obs::SpanNode> roots;
+  std::map<std::string, double> counters;
+  int reports = 0;
+  for (const std::string& path : args) {
+    obs::json::Value report;
+    if (!load_report(path, report)) return kExitNoInput;
+    for (obs::SpanNode& r : obs::trace_from_report(report))
+      roots.push_back(std::move(r));
+    if (const auto* c = report.at_path({"metrics", "counters"});
+        c != nullptr && c->is_object())
+      for (const auto& [k, v] : c->object)
+        if (v.kind == obs::json::Value::Kind::kNumber) counters[k] += v.num;
+    ++reports;
+  }
+
+  std::printf("%d report(s), %zu root span(s)\n\n", reports, roots.size());
+
+  const auto stats = obs::aggregate_spans(roots);
+  if (!stats.empty()) {
+    TextTable table({"span", "count", "total(s)", "self(s)", "min(s)",
+                     "max(s)", "mean(s)"});
+    for (const obs::SpanStats& s : stats)
+      table.add_row({s.name, std::to_string(s.count),
+                     format_double(s.total_seconds, 4),
+                     format_double(s.self_seconds, 4),
+                     format_double(s.min_seconds, 4),
+                     format_double(s.max_seconds, 4),
+                     format_double(s.mean_seconds(), 4)});
+    std::printf("%s\n", table.to_string().c_str());
+
+    const auto chain = obs::critical_chain(roots);
+    std::string rendered;
+    for (const obs::SpanNode* n : chain) {
+      if (!rendered.empty()) rendered += " > ";
+      rendered += n->name + " (" + format_double(n->seconds, 4) + "s)";
+    }
+    std::printf("critical chain: %s\n\n", rendered.c_str());
+  }
+
+  if (!counters.empty()) {
+    TextTable table({"counter", "value"});
+    for (const auto& [k, v] : counters)
+      table.add_row({k, format_double(v, 0)});
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return kExitOk;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  obs::DiffOptions opts;
+  std::string baseline_path, report_path;
+  const auto double_flag = [&](std::size_t& i, double& out,
+                               std::string& err) {
+    if (i + 1 >= args.size()) {
+      err = args[i] + " needs a value";
+      return false;
+    }
+    char* end = nullptr;
+    out = std::strtod(args[i + 1].c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      err = "bad number for " + args[i] + ": " + args[i + 1];
+      return false;
+    }
+    ++i;
+    return true;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string err;
+    if (args[i] == "--time-tol") {
+      if (!double_flag(i, opts.time_warn_tol, err))
+        return usage_error("diff: " + err);
+    } else if (args[i] == "--time-fail") {
+      if (!double_flag(i, opts.time_fail_tol, err))
+        return usage_error("diff: " + err);
+    } else if (args[i] == "--min-seconds") {
+      if (!double_flag(i, opts.min_seconds, err))
+        return usage_error("diff: " + err);
+    } else if (args[i] == "--timings-warn-only") {
+      opts.timings_warn_only = true;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage_error("diff: unknown option " + args[i]);
+    } else if (baseline_path.empty()) {
+      baseline_path = args[i];
+    } else if (report_path.empty()) {
+      report_path = args[i];
+    } else {
+      return usage_error("diff: unexpected argument " + args[i]);
+    }
+  }
+  if (baseline_path.empty() || report_path.empty())
+    return usage_error("diff: need <baseline.json> <report.json>");
+
+  obs::json::Value baseline, report;
+  if (!load_report(baseline_path, baseline)) return kExitNoInput;
+  if (!load_report(report_path, report)) return kExitNoInput;
+
+  const obs::DiffResult res = obs::diff_reports(baseline, report, opts);
+
+  const auto kind_name = [](obs::DiffEntry::Kind k) {
+    switch (k) {
+      case obs::DiffEntry::Kind::kCounter: return "counter";
+      case obs::DiffEntry::Kind::kGauge: return "gauge";
+      case obs::DiffEntry::Kind::kHistogram: return "histogram";
+      case obs::DiffEntry::Kind::kSpanCount: return "span-count";
+      case obs::DiffEntry::Kind::kSpanTime: return "span-time";
+    }
+    return "?";
+  };
+  // Counters and span counts are integers; timings get 4 decimals.
+  const auto fmt = [](double v) {
+    return v == static_cast<double>(static_cast<long long>(v))
+               ? format_double(v, 0)
+               : format_double(v, 4);
+  };
+  bool any = false;
+  TextTable table({"verdict", "kind", "name", "baseline", "current", "note"});
+  for (const obs::DiffEntry& e : res.entries) {
+    if (e.verdict == obs::Verdict::kOk) continue;
+    any = true;
+    table.add_row({obs::verdict_name(e.verdict), kind_name(e.kind), e.name,
+                   fmt(e.baseline), fmt(e.current), e.note});
+  }
+  if (any) std::printf("%s\n", table.to_string().c_str());
+  std::printf("%zu comparison(s): %d ok, %d warn, %d regress\n",
+              res.entries.size(), res.count(obs::Verdict::kOk),
+              res.count(obs::Verdict::kWarn),
+              res.count(obs::Verdict::kRegress));
+  std::printf("verdict: %s\n", obs::verdict_name(res.verdict));
+  switch (res.verdict) {
+    case obs::Verdict::kOk: return kExitOk;
+    case obs::Verdict::kWarn: return kExitWarn;
+    case obs::Verdict::kRegress: return kExitRegress;
+  }
+  return kExitRegress;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage_error("missing command");
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    print_usage(stdout);
+    return kExitOk;
+  }
+  if (cmd == "trace") return cmd_trace(args);
+  if (cmd == "summary") return cmd_summary(args);
+  if (cmd == "diff") return cmd_diff(args);
+  if (cmd == "strip-times") return cmd_strip_times(args);
+  return usage_error("unknown command '" + cmd + "'");
+}
