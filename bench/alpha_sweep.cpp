@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "base/parallel.h"
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
@@ -15,32 +16,48 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out =
-      bench_io::parse_cli(argc, argv, "alpha_sweep").out_dir;
+  const bench_io::Cli cli = bench_io::parse_cli(argc, argv, "alpha_sweep");
+  const std::string& out = cli.out_dir;
+  const base::ExecPolicy exec = cli.exec();
 
   const std::vector<double> alphas{0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0};
   const std::vector<const char*> circuits{"y386", "y526", "y838", "y1269",
                                           "y1423"};
 
   std::printf("=== Alpha sweep (LAC re-weighting coefficient) ===\n\n");
-  TextTable table({"alpha", "sum N_FOA", "sum N_F", "avg N_wr"});
-  for (const double alpha : alphas) {
+  // Every (alpha, circuit) pair is an independent planning run; fan them
+  // all out and aggregate per alpha in sweep order afterwards.
+  struct Outcome {
     long long foa = 0, nf = 0;
     double nwr = 0.0;
-    for (const char* name : circuits) {
-      const auto& entry = bench89::entry_by_name(name);
-      const auto nl = bench89::load(entry);
-      planner::PlannerConfig cfg;
-      cfg.seed = 7;
-      cfg.num_blocks = entry.recommended_blocks;
-      cfg.lac_opt.alpha = alpha;
-      planner::InterconnectPlanner planner(cfg);
-      const auto res = planner.plan(nl);
-      foa += res.lac.report.n_foa;
-      nf += res.lac.report.n_f;
-      nwr += res.lac.n_wr;
+  };
+  const auto outcomes = base::parallel_map<Outcome>(
+      exec, alphas.size() * circuits.size(), [&](std::size_t j) {
+        const double alpha = alphas[j / circuits.size()];
+        const auto& entry = bench89::entry_by_name(circuits[j % circuits.size()]);
+        const auto nl = bench89::load(entry);
+        planner::PlannerConfig cfg;
+        cfg.run.seed = 7;
+        cfg.run.exec = exec;
+        cfg.num_blocks = entry.recommended_blocks;
+        cfg.lac_opt.alpha = alpha;
+        const planner::InterconnectPlanner planner(cfg);
+        const auto res = planner.plan(nl);
+        return Outcome{res.lac.report.n_foa, res.lac.report.n_f,
+                       static_cast<double>(res.lac.n_wr)};
+      });
+
+  TextTable table({"alpha", "sum N_FOA", "sum N_F", "avg N_wr"});
+  for (std::size_t a = 0; a < alphas.size(); ++a) {
+    long long foa = 0, nf = 0;
+    double nwr = 0.0;
+    for (std::size_t c = 0; c < circuits.size(); ++c) {
+      const Outcome& o = outcomes[a * circuits.size() + c];
+      foa += o.foa;
+      nf += o.nf;
+      nwr += o.nwr;
     }
-    table.add_row({format_double(alpha, 2), std::to_string(foa),
+    table.add_row({format_double(alphas[a], 2), std::to_string(foa),
                    std::to_string(nf),
                    format_double(nwr / static_cast<double>(circuits.size()), 1)});
   }

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/exec_policy.h"
 #include "obs/report.h"
 
 namespace lac::bench_io {
@@ -22,16 +23,33 @@ struct Cli {
   // --limit N: run only the first N suite circuits (table1_main); -1 =
   // whole suite.
   long long limit = -1;
+  // --threads N: worker threads for every parallel stage; 0 (the default,
+  // also when the flag is absent) resolves to hardware_concurrency() with
+  // a floor of 1.  Negative values are rejected with exit 64.
+  long long threads = 0;
+
+  // The parsed --threads value as an ExecPolicy (deterministic scheduling;
+  // results are bitwise-identical for any thread count).
+  [[nodiscard]] base::ExecPolicy exec() const {
+    base::ExecPolicy p;
+    p.threads = static_cast<int>(threads);
+    return p;
+  }
 };
 
 inline void print_usage(std::FILE* to, const char* tool, bool with_limit) {
   std::fprintf(to,
-               "usage: %s [out_dir]%s\n"
+               "usage: %s [out_dir]%s [--threads N]\n"
                "\n"
                "  out_dir     directory for the run report (and any CSVs);"
                " default \".\",\n"
                "              created if missing\n"
-               "  --help, -h  show this message\n",
+               "  --help, -h  show this message\n"
+               "  --threads N worker threads for parallel stages; 0 or"
+               " unset = all\n"
+               "              hardware threads (at least 1); output is"
+               " identical for\n"
+               "              any thread count\n",
                tool, with_limit ? " [--limit N]" : "");
   if (with_limit)
     std::fprintf(to,
@@ -60,6 +78,20 @@ inline Cli parse_cli(int argc, char** argv, const char* tool,
       cli.limit = std::strtoll(argv[++i], &end, 10);
       if (end == nullptr || *end != '\0' || cli.limit < 0) {
         std::fprintf(stderr, "%s: bad --limit value '%s'\n", tool, argv[i]);
+        std::exit(64);
+      }
+      continue;
+    }
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --threads needs a count\n", tool);
+        std::exit(64);
+      }
+      char* end = nullptr;
+      cli.threads = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || end == argv[i] ||
+          cli.threads < 0) {
+        std::fprintf(stderr, "%s: bad --threads value '%s'\n", tool, argv[i]);
         std::exit(64);
       }
       continue;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "base/parallel.h"
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
@@ -16,24 +17,38 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out =
-      bench_io::parse_cli(argc, argv, "clock_sweep").out_dir;
+  const bench_io::Cli cli = bench_io::parse_cli(argc, argv, "clock_sweep");
+  const std::string& out = cli.out_dir;
+  const base::ExecPolicy exec = cli.exec();
+
+  const std::vector<const char*> circuits{"y526", "y1269"};
+  const std::vector<double> fractions{0.0, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0};
 
   std::printf("=== Clock-slack sweep: T_clk = T_min + f (T_init - T_min) ===\n\n");
-  for (const char* name : {"y526", "y1269"}) {
-    const auto& entry = bench89::entry_by_name(name);
-    const auto nl = bench89::load(entry);
-    std::printf("--- %s ---\n", name);
+  // Every (circuit, fraction) pair plans independently; rows are printed
+  // in sweep order afterwards.
+  const auto results = base::parallel_map<planner::PlanResult>(
+      exec, circuits.size() * fractions.size(), [&](std::size_t j) {
+        const auto& entry =
+            bench89::entry_by_name(circuits[j / fractions.size()]);
+        const auto nl = bench89::load(entry);
+        planner::PlannerConfig cfg;
+        cfg.run.seed = 7;
+        cfg.run.exec = exec;
+        cfg.num_blocks = entry.recommended_blocks;
+        cfg.clock_slack_fraction = fractions[j % fractions.size()];
+        const planner::InterconnectPlanner planner(cfg);
+        return planner.plan(nl);
+      });
+
+  for (std::size_t c = 0; c < circuits.size(); ++c) {
+    std::printf("--- %s ---\n", circuits[c]);
     TextTable table({"f", "Tclk(ps)", "MA:N_FOA", "MA:N_F", "LAC:N_FOA",
                      "LAC:N_F", "N_wr"});
-    for (const double f : {0.0, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}) {
-      planner::PlannerConfig cfg;
-      cfg.seed = 7;
-      cfg.num_blocks = entry.recommended_blocks;
-      cfg.clock_slack_fraction = f;
-      planner::InterconnectPlanner planner(cfg);
-      const auto res = planner.plan(nl);
-      table.add_row({format_double(f, 2), format_double(res.t_clk_ps, 1),
+    for (std::size_t k = 0; k < fractions.size(); ++k) {
+      const planner::PlanResult& res = results[c * fractions.size() + k];
+      table.add_row({format_double(fractions[k], 2),
+                     format_double(res.t_clk_ps, 1),
                      std::to_string(res.min_area.report.n_foa),
                      std::to_string(res.min_area.report.n_f),
                      std::to_string(res.lac.report.n_foa),

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "base/parallel.h"
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
@@ -16,21 +17,30 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out =
-      bench_io::parse_cli(argc, argv, "ff_distribution").out_dir;
+  const bench_io::Cli cli = bench_io::parse_cli(argc, argv, "ff_distribution");
+  const std::string& out = cli.out_dir;
+  const base::ExecPolicy exec = cli.exec();
 
   std::printf("=== Flip-flop distribution & clock-period gap ===\n\n");
   TextTable table({"circuit", "N_F", "N_FN", "FF-in-wire %", "T_init(ps)",
                    "T_min(ps)", "gap %"});
   double pct_sum = 0.0, pct_max = 0.0, gap_max = 0.0;
   int n = 0;
-  for (const auto& entry : bench89::table1_suite()) {
-    const auto nl = bench89::load(entry);
-    planner::PlannerConfig cfg;
-    cfg.seed = 7;
-    cfg.num_blocks = entry.recommended_blocks;
-    planner::InterconnectPlanner planner(cfg);
-    const auto res = planner.plan(nl);
+  // Per-circuit fan-out; rows aggregate in suite order afterwards.
+  const auto suite = bench89::table1_suite();
+  const auto results = base::parallel_map<planner::PlanResult>(
+      exec, suite.size(), [&](std::size_t i) {
+        const auto nl = bench89::load(suite[i]);
+        planner::PlannerConfig cfg;
+        cfg.run.seed = 7;
+        cfg.run.exec = exec;
+        cfg.num_blocks = suite[i].recommended_blocks;
+        const planner::InterconnectPlanner planner(cfg);
+        return planner.plan(nl);
+      });
+  for (std::size_t c = 0; c < suite.size(); ++c) {
+    const auto& entry = suite[c];
+    const planner::PlanResult& res = results[c];
     const double pct =
         res.lac.report.n_f > 0
             ? 100.0 * static_cast<double>(res.lac.report.n_fn) /

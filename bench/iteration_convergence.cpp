@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "base/parallel.h"
 #include "base/table.h"
 #include "bench89/suite.h"
 #include "bench_io.h"
@@ -15,40 +16,41 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out =
-      bench_io::parse_cli(argc, argv, "iteration_convergence").out_dir;
+  const bench_io::Cli cli =
+      bench_io::parse_cli(argc, argv, "iteration_convergence");
+  const std::string& out = cli.out_dir;
+  const base::ExecPolicy exec = cli.exec();
 
   std::printf("=== Planning-iteration convergence (floorplan expansion) ===\n\n");
   TextTable table({"circuit", "iter1:MA_FOA", "iter1:LAC_FOA", "iter2:LAC_FOA",
                    "iter3:LAC_FOA", "converged"});
 
-  for (const auto& entry : bench89::table1_suite()) {
-    const auto nl = bench89::load(entry);
-    planner::PlannerConfig cfg;
-    cfg.seed = 7;
-    cfg.num_blocks = entry.recommended_blocks;
-    planner::InterconnectPlanner planner(cfg);
+  // Each circuit's full iteration trajectory is one independent task.
+  const auto suite = bench89::table1_suite();
+  const auto iterations =
+      base::parallel_map<std::vector<planner::PlanResult>>(
+          exec, suite.size(), [&](std::size_t i) {
+            const auto nl = bench89::load(suite[i]);
+            planner::PlannerConfig cfg;
+            cfg.run.seed = 7;
+            cfg.run.exec = exec;
+            cfg.num_blocks = suite[i].recommended_blocks;
+            const planner::InterconnectPlanner planner(cfg);
+            return planner.plan(nl,
+                                planner::PlanOptions{.max_iterations = 3});
+          });
 
-    auto res = planner.plan(nl);
-    const auto ma1 = res.min_area.report.n_foa;
-    const auto lac1 = res.lac.report.n_foa;
-    std::string it2 = "-", it3 = "-";
-    if (!res.lac.report.fits()) {
-      auto second = planner.replan_expanded(nl, res);
-      if (second) {
-        it2 = std::to_string(second->lac.report.n_foa);
-        res = std::move(*second);
-        if (!res.lac.report.fits()) {
-          auto third = planner.replan_expanded(nl, res);
-          if (third) {
-            it3 = std::to_string(third->lac.report.n_foa);
-            res = std::move(*third);
-          }
-        }
-      }
-    }
-    table.add_row({entry.spec.name, std::to_string(ma1), std::to_string(lac1),
-                   it2, it3, res.lac.report.fits() ? "yes" : "NO"});
+  for (std::size_t c = 0; c < suite.size(); ++c) {
+    const auto& iters = iterations[c];
+    const auto ma1 = iters.front().min_area.report.n_foa;
+    const auto lac1 = iters.front().lac.report.n_foa;
+    const std::string it2 =
+        iters.size() > 1 ? std::to_string(iters[1].lac.report.n_foa) : "-";
+    const std::string it3 =
+        iters.size() > 2 ? std::to_string(iters[2].lac.report.n_foa) : "-";
+    table.add_row({suite[c].spec.name, std::to_string(ma1),
+                   std::to_string(lac1), it2, it3,
+                   iters.back().lac.report.fits() ? "yes" : "NO"});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper: all circuits converge after <= 2 iterations except one\n"

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "base/parallel.h"
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
@@ -22,27 +23,41 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out =
-      bench_io::parse_cli(argc, argv, "provision_sweep").out_dir;
+  const bench_io::Cli cli = bench_io::parse_cli(argc, argv, "provision_sweep");
+  const std::string& out = cli.out_dir;
+  const base::ExecPolicy exec = cli.exec();
 
   const std::vector<const char*> circuits{"y298", "y526", "y838", "y1269"};
+  const std::vector<double> provisions{1.0, 0.8, 0.6, 0.5, 0.4};
   std::printf("=== Register-provisioning sweep ===\n\n");
-  TextTable table({"provision", "sum MA:N_FOA", "sum LAC:N_FOA", "decrease"});
-  for (const double prov : {1.0, 0.8, 0.6, 0.5, 0.4}) {
+  // Every (provision, circuit) pair plans independently; sums are
+  // aggregated per provision in sweep order afterwards.
+  struct Outcome {
     long long ma = 0, lac = 0;
-    for (const char* name : circuits) {
-      const auto& entry = bench89::entry_by_name(name);
-      const auto nl = bench89::load(entry);
-      planner::PlannerConfig cfg;
-      cfg.seed = 7;
-      cfg.num_blocks = entry.recommended_blocks;
-      cfg.dff_provision_factor = prov;
-      planner::InterconnectPlanner planner(cfg);
-      const auto res = planner.plan(nl);
-      ma += res.min_area.report.n_foa;
-      lac += res.lac.report.n_foa;
+  };
+  const auto outcomes = base::parallel_map<Outcome>(
+      exec, provisions.size() * circuits.size(), [&](std::size_t j) {
+        const auto& entry =
+            bench89::entry_by_name(circuits[j % circuits.size()]);
+        const auto nl = bench89::load(entry);
+        planner::PlannerConfig cfg;
+        cfg.run.seed = 7;
+        cfg.run.exec = exec;
+        cfg.num_blocks = entry.recommended_blocks;
+        cfg.dff_provision_factor = provisions[j / circuits.size()];
+        const planner::InterconnectPlanner planner(cfg);
+        const auto res = planner.plan(nl);
+        return Outcome{res.min_area.report.n_foa, res.lac.report.n_foa};
+      });
+
+  TextTable table({"provision", "sum MA:N_FOA", "sum LAC:N_FOA", "decrease"});
+  for (std::size_t p = 0; p < provisions.size(); ++p) {
+    long long ma = 0, lac = 0;
+    for (std::size_t c = 0; c < circuits.size(); ++c) {
+      ma += outcomes[p * circuits.size() + c].ma;
+      lac += outcomes[p * circuits.size() + c].lac;
     }
-    table.add_row({format_double(prov, 2), std::to_string(ma),
+    table.add_row({format_double(provisions[p], 2), std::to_string(ma),
                    std::to_string(lac),
                    ma > 0 ? format_double(100.0 * static_cast<double>(ma - lac) /
                                               static_cast<double>(ma),

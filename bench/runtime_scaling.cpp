@@ -105,7 +105,7 @@ void BM_FullPlan(benchmark::State& state) {
   const auto& entry = bench89::table1_suite()[static_cast<std::size_t>(state.range(0))];
   const auto nl = bench89::load(entry);
   planner::PlannerConfig cfg;
-  cfg.seed = 7;
+  cfg.run.seed = 7;
   cfg.num_blocks = entry.recommended_blocks;
   cfg.fp_opt.sa_moves_per_block = 150;
   planner::InterconnectPlanner planner(cfg);

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "base/parallel.h"
 #include "base/str_util.h"
 #include "base/table.h"
 #include "bench89/suite.h"
@@ -18,35 +19,45 @@
 
 int main(int argc, char** argv) {
   using namespace lac;
-  const std::string out =
-      bench_io::parse_cli(argc, argv, "sharing_ablation").out_dir;
+  const bench_io::Cli cli = bench_io::parse_cli(argc, argv, "sharing_ablation");
+  const std::string& out = cli.out_dir;
+  const base::ExecPolicy exec = cli.exec();
 
   std::printf("=== Per-edge vs register-sharing min-area retiming ===\n\n");
   TextTable table({"circuit", "T_min(ps)", "edge-obj N_F", "its shared cost",
                    "shared-obj cost", "overstatement"});
-  for (const auto& entry : bench89::table1_suite()) {
-    const auto nl = bench89::load(entry);
-    const auto lg = retime::build_logic_graph(nl, 60.0);
-    const auto wd = retime::WdMatrices::compute(lg.graph);
-    const double t_min = retime::min_period_retiming(lg.graph, wd);
-    const auto t = retime::to_decips(t_min);
-    const auto cs = retime::build_constraints(lg.graph, wd, t);
-    std::vector<double> ones(
-        static_cast<std::size_t>(lg.graph.num_vertices()), 1.0);
+  // Per-circuit fan-out; each task runs both optimisers for one circuit.
+  struct Outcome {
+    double t_min = 0.0, edge_nf = 0.0, edge_shared = 0.0, shared_opt = 0.0;
+  };
+  const auto suite = bench89::table1_suite();
+  const auto outcomes = base::parallel_map<Outcome>(
+      exec, suite.size(), [&](std::size_t i) {
+        const auto nl = bench89::load(suite[i]);
+        const auto lg = retime::build_logic_graph(nl, 60.0);
+        const auto wd = retime::WdMatrices::compute(lg.graph, exec);
+        const double t_min = retime::min_period_retiming(lg.graph, wd);
+        const auto t = retime::to_decips(t_min);
+        const auto cs = retime::build_constraints(lg.graph, wd, t);
+        std::vector<double> ones(
+            static_cast<std::size_t>(lg.graph.num_vertices()), 1.0);
 
-    const auto r_edge = retime::min_area_retiming(lg.graph, cs);
-    const auto r_shared =
-        retime::min_area_retiming_shared(lg.graph, wd, t, ones);
+        const auto r_edge = retime::min_area_retiming(lg.graph, cs);
+        const auto r_shared =
+            retime::min_area_retiming_shared(lg.graph, wd, t, ones);
 
-    const double edge_nf = retime::weighted_ff_area(lg.graph, *r_edge, ones);
-    const double edge_shared = retime::shared_ff_area(lg.graph, *r_edge, ones);
-    const double shared_opt =
-        retime::shared_ff_area(lg.graph, *r_shared, ones);
-    table.add_row({entry.spec.name, format_double(t_min, 1),
-                   format_double(edge_nf, 0), format_double(edge_shared, 0),
-                   format_double(shared_opt, 0),
-                   format_double(100.0 * (edge_nf - shared_opt) /
-                                     std::max(1.0, shared_opt),
+        return Outcome{
+            t_min, retime::weighted_ff_area(lg.graph, *r_edge, ones),
+            retime::shared_ff_area(lg.graph, *r_edge, ones),
+            retime::shared_ff_area(lg.graph, *r_shared, ones)};
+      });
+  for (std::size_t c = 0; c < suite.size(); ++c) {
+    const Outcome& o = outcomes[c];
+    table.add_row({suite[c].spec.name, format_double(o.t_min, 1),
+                   format_double(o.edge_nf, 0), format_double(o.edge_shared, 0),
+                   format_double(o.shared_opt, 0),
+                   format_double(100.0 * (o.edge_nf - o.shared_opt) /
+                                     std::max(1.0, o.shared_opt),
                                  0) +
                        "%"});
   }

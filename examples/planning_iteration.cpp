@@ -49,26 +49,30 @@ int main(int argc, char** argv) {
   const auto nl = bench89::load(entry);
 
   planner::PlannerConfig cfg;
-  cfg.seed = 7;
+  cfg.run.seed = 7;
   cfg.num_blocks = entry.recommended_blocks;
   planner::InterconnectPlanner planner(cfg);
 
-  std::printf("=== iteration 1 (%s) ===\n", name.c_str());
-  auto res = planner.plan(nl);
-  std::printf("  T_init=%.0f ps  T_min=%.0f ps  T_clk=%.0f ps\n",
-              res.t_init_ps, res.t_min_ps, res.t_clk_ps);
-  dump_violations(res);
+  // One call runs the whole trajectory: the initial plan plus up to two
+  // floorplan-expansion iterations while violations remain.
+  const auto iterations =
+      planner.plan(nl, planner::PlanOptions{.max_iterations = 3});
 
-  for (int iter = 2; iter <= 3 && !res.lac.report.fits(); ++iter) {
-    auto next = planner.replan_expanded(nl, res);
-    if (!next) break;
-    std::printf("\n=== iteration %d (expanded floorplan: chip %.2f -> %.2f "
+  std::printf("=== iteration 1 (%s) ===\n", name.c_str());
+  std::printf("  T_init=%.0f ps  T_min=%.0f ps  T_clk=%.0f ps\n",
+              iterations.front().t_init_ps, iterations.front().t_min_ps,
+              iterations.front().t_clk_ps);
+  dump_violations(iterations.front());
+
+  for (std::size_t k = 1; k < iterations.size(); ++k) {
+    std::printf("\n=== iteration %zu (expanded floorplan: chip %.2f -> %.2f "
                 "mm^2) ===\n",
-                iter, res.fp.chip.area() / 1e6, next->fp.chip.area() / 1e6);
-    res = std::move(*next);
-    dump_violations(res);
+                k + 1, iterations[k - 1].fp.chip.area() / 1e6,
+                iterations[k].fp.chip.area() / 1e6);
+    dump_violations(iterations[k]);
   }
 
+  const planner::PlanResult& res = iterations.back();
   std::printf("\nresult: %s\n",
               res.lac.report.fits()
                   ? "all local area constraints met — no further floorplan "

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   planner::PlannerConfig cfg;
   cfg.num_blocks = 9;
-  cfg.seed = 7;
+  cfg.run.seed = 7;
   planner::InterconnectPlanner planner(cfg);
   const auto result = planner.plan(nl);
 

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
                    "cycles/crossing", "N_F", "N_FN", "FF-in-wire %"});
   for (const double scale : {0.5, 1.0, 2.0, 4.0}) {
     planner::PlannerConfig cfg;
-    cfg.seed = 7;
+    cfg.run.seed = 7;
     cfg.num_blocks = entry.recommended_blocks;
     cfg.tech.wire_res_per_um *= scale;
     cfg.tech.wire_cap_per_um *= scale;

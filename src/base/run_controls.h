@@ -1,0 +1,29 @@
+// RunControls: the execution-configuration surface shared by the planner,
+// the bench drivers and the tools.
+//
+// Everything that controls *how* a run executes — as opposed to *what* it
+// computes — lives here: the parallel execution policy, the observability
+// override and the RNG seed.  PlannerConfig embeds one as `run`;
+// bench_io::parse_cli fills one from the command line.  Keeping the
+// surface in src/base means a tool can configure a run without pulling in
+// planner headers.
+#pragma once
+
+#include <cstdint>
+
+#include "base/exec_policy.h"
+#include "obs/obs.h"
+
+namespace lac::base {
+
+struct RunControls {
+  // Thread count / scheduling for every parallelised stage of the run.
+  ExecPolicy exec;
+  // Tracing + metrics override: kEnv defers to the LAC_OBS environment
+  // variable, kOn/kOff force the switch for the duration of the run.
+  obs::Override observability = obs::Override::kEnv;
+  // Seed for every stochastic stage (partitioning, floorplan annealing).
+  std::uint64_t seed = 1;
+};
+
+}  // namespace lac::base

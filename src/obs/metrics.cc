@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/obs.h"
+#include "obs/task.h"
 
 namespace lac::obs {
 
@@ -104,16 +105,31 @@ void Metrics::reset() {
 
 void count(const char* name, std::int64_t delta) {
   if (!enabled()) return;
+  if (TaskCapture* sink = detail::current_task_sink()) {
+    sink->events.push_back(
+        {MetricEvent::Kind::kCount, name, delta, 0.0});
+    return;
+  }
   Metrics::instance().add_counter(name, delta);
 }
 
 void gauge(const char* name, double value) {
   if (!enabled()) return;
+  if (TaskCapture* sink = detail::current_task_sink()) {
+    sink->events.push_back(
+        {MetricEvent::Kind::kGauge, name, 0, value});
+    return;
+  }
   Metrics::instance().set_gauge(name, value);
 }
 
 void observe(const char* name, double value) {
   if (!enabled()) return;
+  if (TaskCapture* sink = detail::current_task_sink()) {
+    sink->events.push_back(
+        {MetricEvent::Kind::kObserve, name, 0, value});
+    return;
+  }
   Metrics::instance().observe(name, value);
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/task.h"
 
 namespace lac::obs {
 
@@ -20,6 +21,24 @@ std::vector<SpanNode> g_roots;
 std::int64_t g_dropped = 0;
 
 }  // namespace
+
+namespace detail {
+
+// Task-capture support (obs/task.h): the engine detaches span nesting for
+// the duration of a task so task spans become roots of their own track.
+void* exchange_current_span(void* span) {
+  return std::exchange(tl_current, static_cast<Span*>(span));
+}
+
+void publish_root_globally(SpanNode&& node) {
+  std::lock_guard lock(g_roots_mu);
+  if (g_roots.size() < kMaxRoots)
+    g_roots.push_back(std::move(node));
+  else
+    ++g_dropped;
+}
+
+}  // namespace detail
 
 const SpanNode* SpanNode::find_child(std::string_view child_name) const {
   for (const SpanNode& c : children)
@@ -48,11 +67,7 @@ Span::~Span() {
   if (parent_ != nullptr && parent_->node_ != nullptr) {
     parent_->node_->children.push_back(std::move(*node_));
   } else {
-    std::lock_guard lock(g_roots_mu);
-    if (g_roots.size() < kMaxRoots)
-      g_roots.push_back(std::move(*node_));
-    else
-      ++g_dropped;
+    detail::publish_root(std::move(*node_));
   }
   delete node_;
 }

@@ -1,0 +1,66 @@
+#include "obs/task.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace lac::obs {
+
+namespace {
+
+thread_local TaskCapture* tl_sink = nullptr;
+
+}  // namespace
+
+namespace detail {
+
+TaskCapture* current_task_sink() { return tl_sink; }
+
+// Defined in span.cc: swaps the thread's innermost-open-span pointer.
+void* exchange_current_span(void* span);
+// Defined in span.cc: appends to the process-wide root store.
+void publish_root_globally(SpanNode&& node);
+
+void publish_root(SpanNode&& node) {
+  if (tl_sink != nullptr) {
+    tl_sink->roots.push_back(std::move(node));
+    return;
+  }
+  publish_root_globally(std::move(node));
+}
+
+}  // namespace detail
+
+ScopedTaskCapture::ScopedTaskCapture(TaskCapture* capture)
+    : prev_sink_(tl_sink),
+      prev_span_(detail::exchange_current_span(nullptr)) {
+  tl_sink = capture;
+}
+
+ScopedTaskCapture::~ScopedTaskCapture() {
+  tl_sink = prev_sink_;
+  (void)detail::exchange_current_span(prev_span_);
+}
+
+void commit_task_capture(TaskCapture&& capture) {
+  // Replaying through the public entry points routes into the enclosing
+  // capture when loops nest, and into the global store/registry otherwise.
+  for (MetricEvent& e : capture.events) {
+    switch (e.kind) {
+      case MetricEvent::Kind::kCount:
+        count(e.name.c_str(), e.delta);
+        break;
+      case MetricEvent::Kind::kGauge:
+        gauge(e.name.c_str(), e.value);
+        break;
+      case MetricEvent::Kind::kObserve:
+        observe(e.name.c_str(), e.value);
+        break;
+    }
+  }
+  for (SpanNode& r : capture.roots) detail::publish_root(std::move(r));
+  capture = {};
+}
+
+}  // namespace lac::obs

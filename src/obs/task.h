@@ -1,0 +1,80 @@
+// Deterministic observability under parallel execution.
+//
+// The span store and the metrics registry are process-wide; when tasks run
+// on a thread pool, the order in which their spans publish and their
+// metric events apply would follow completion time — nondeterministic, so
+// two runs of the same work at different thread counts would produce
+// byte-different reports.  TaskCapture fixes that: the parallel engine
+// (base/parallel) redirects each task's observability output into a
+// per-task buffer and, after the loop joins, commits the buffers in task
+// order on the calling thread.  The resulting span sequence and metric
+// state are identical for every thread count, including fully inline
+// execution.
+//
+// Commit *replays* the buffered events through the public obs entry
+// points, so nested parallel loops compose: a task's inner loop commits
+// into the enclosing task's capture, which the outer loop later commits
+// wherever *it* is running.
+//
+// When obs::enabled() is false nothing records, captures stay empty and
+// the redirection costs two thread-local writes per task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace lac::obs {
+
+struct MetricEvent {
+  enum class Kind { kCount, kGauge, kObserve };
+
+  Kind kind = Kind::kCount;
+  std::string name;
+  std::int64_t delta = 0;  // kCount
+  double value = 0.0;      // kGauge / kObserve
+};
+
+// Buffered observability output of one task: root spans finished while the
+// capture was installed, and metric events in emission order.
+struct TaskCapture {
+  std::vector<SpanNode> roots;
+  std::vector<MetricEvent> events;
+
+  [[nodiscard]] bool empty() const { return roots.empty() && events.empty(); }
+};
+
+// RAII: redirects this thread's observability output into `capture` and
+// detaches span nesting (spans opened inside the task become task-local
+// roots rather than children of whatever span the caller had open — each
+// task is its own trace track).  Restores the previous sink and span
+// context on destruction.  Captures nest: the previous sink, if any,
+// resumes when this one ends.
+class ScopedTaskCapture {
+ public:
+  explicit ScopedTaskCapture(TaskCapture* capture);
+  ScopedTaskCapture(const ScopedTaskCapture&) = delete;
+  ScopedTaskCapture& operator=(const ScopedTaskCapture&) = delete;
+  ~ScopedTaskCapture();
+
+ private:
+  TaskCapture* prev_sink_ = nullptr;
+  void* prev_span_ = nullptr;  // opaque Span*; span.cc owns the type
+};
+
+// Applies a capture's events and publishes its roots *at the current
+// thread's sink* — the global store/registry, or the enclosing capture if
+// one is installed.  Consumes the capture.
+void commit_task_capture(TaskCapture&& capture);
+
+namespace detail {
+// Current thread's capture sink; nullptr when publishing directly to the
+// process-wide store/registry.  Used by span.cc and metrics.cc.
+[[nodiscard]] TaskCapture* current_task_sink();
+// Publishes a finished root span at the current sink (or globally).
+void publish_root(SpanNode&& node);
+}  // namespace detail
+
+}  // namespace lac::obs

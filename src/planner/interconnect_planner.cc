@@ -51,12 +51,38 @@ InterconnectPlanner::InterconnectPlanner(PlannerConfig config)
             config_.clock_slack_fraction <= 1.0);
   config_.lac_opt.ff_area = config_.tech.dff_area;
   config_.tile_opt.site_area = config_.tech.dff_area;
+  // Deprecated-alias normalisation: a non-default value in the old
+  // top-level seed/observability fields wins over a still-default
+  // RunControls entry; afterwards both views agree.
+  const PlannerConfig defaults;
+  if (config_.seed != defaults.seed && config_.run.seed == defaults.run.seed)
+    config_.run.seed = config_.seed;
+  if (config_.observability != defaults.observability &&
+      config_.run.observability == defaults.run.observability)
+    config_.run.observability = config_.observability;
+  config_.seed = config_.run.seed;
+  config_.observability = config_.run.observability;
+  // The execution policy reaches the router through its own options.
+  config_.route_opt.exec = config_.run.exec;
+}
+
+std::vector<PlanResult> InterconnectPlanner::plan(
+    const netlist::Netlist& nl, const PlanOptions& opts) const {
+  LAC_CHECK(opts.max_iterations >= 1);
+  std::vector<PlanResult> results;
+  results.push_back(plan(nl));
+  while (static_cast<int>(results.size()) < opts.max_iterations) {
+    auto next = replan_expanded(nl, results.back());
+    if (!next.has_value()) break;
+    results.push_back(std::move(*next));
+  }
+  return results;
 }
 
 PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
   std::optional<obs::ScopedEnable> obs_override;
-  if (config_.observability != obs::Override::kEnv)
-    obs_override.emplace(config_.observability == obs::Override::kOn);
+  if (config_.run.observability != obs::Override::kEnv)
+    obs_override.emplace(config_.run.observability == obs::Override::kOn);
   obs::Span span("planner.plan");
   span.annotate("circuit", nl.name());
   span.annotate("cells", nl.num_cells());
@@ -68,7 +94,7 @@ PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
   for (const auto c : nl.cells())
     cell_area[c.index()] = cell_area_of(nl, c, config_.tech);
   partition::FmOptions fm_opt;
-  fm_opt.seed = config_.seed;
+  fm_opt.seed = config_.run.seed;
   const auto part = [&] {
     obs::Span stage("stage.partition");
     auto p = partition::partition_netlist(nl, cell_area, config_.num_blocks,
@@ -103,7 +129,7 @@ PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
     }
   }
   floorplan::FloorplanOptions fp_opt = config_.fp_opt;
-  fp_opt.seed = config_.seed;
+  fp_opt.seed = config_.run.seed;
   auto fp = [&] {
     obs::Span stage("stage.floorplan");
     return floorplan::floorplan_blocks(std::move(specs), fp_opt);
@@ -283,7 +309,7 @@ PlanResult InterconnectPlanner::plan_on_floorplan(
   // 6. Timing landmarks.
   std::optional<obs::Span> timing_span;
   timing_span.emplace("stage.timing");
-  const auto wd = retime::WdMatrices::compute(g);
+  const auto wd = retime::WdMatrices::compute(g, config_.run.exec);
   res.t_init_ps = wd.t_init_ps();
   res.t_min_ps = retime::min_period_retiming(g, wd);
   res.t_clk_ps = res.t_min_ps + config_.clock_slack_fraction *
@@ -341,8 +367,8 @@ std::optional<PlanResult> InterconnectPlanner::replan_expanded(
   if (rep.fits()) return std::nullopt;
 
   std::optional<obs::ScopedEnable> obs_override;
-  if (config_.observability != obs::Override::kEnv)
-    obs_override.emplace(config_.observability == obs::Override::kOn);
+  if (config_.run.observability != obs::Override::kEnv)
+    obs_override.emplace(config_.run.observability == obs::Override::kOn);
   obs::Span span("planner.replan_expanded");
   span.annotate("circuit", nl.name());
   span.annotate("prev_tiles_violating", rep.tiles_violating);
@@ -368,7 +394,7 @@ std::optional<PlanResult> InterconnectPlanner::replan_expanded(
       std::min(0.2, 2.0 * channel_overflow / prev.fp.chip.area());
 
   floorplan::FloorplanOptions fp_opt = config_.fp_opt;
-  fp_opt.seed = config_.seed;
+  fp_opt.seed = config_.run.seed;
   auto fp = floorplan::refloorplan_expanded(prev.fp, new_area, extra_ws, fp_opt);
   auto result = plan_on_floorplan(nl, prev.block_of, std::move(fp));
   result.circuit = nl.name();

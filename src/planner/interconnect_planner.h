@@ -8,10 +8,12 @@
 //   min-area retiming (baseline)  vs  LAC-retiming (the contribution) ->
 //   flip-flop placement + per-tile violation accounting.
 //
-// `plan()` runs one interconnect-planning iteration; `replan_expanded()`
-// performs the paper's second iteration: congested soft blocks and
-// channels are expanded and the whole pipeline re-runs on the new
-// floorplan (same partition, same seed, incremental layout change).
+// `plan(nl, PlanOptions{.max_iterations = k})` runs up to k planning
+// iterations: the first full pass, then — while flip-flop area violations
+// remain — the paper's floorplan-expansion replan, where congested soft
+// blocks and channels are expanded and the whole pipeline re-runs on the
+// new floorplan (same partition, same seed, incremental layout change).
+// One PlanResult is returned per iteration executed.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "base/run_controls.h"
 #include "floorplan/floorplanner.h"
 #include "netlist/netlist.h"
 #include "obs/obs.h"
@@ -52,10 +55,20 @@ struct PlannerConfig {
   // T_clk = T_min + clock_slack_fraction * (T_init - T_min)   (paper: 0.2).
   double clock_slack_fraction = 0.2;
 
-  // Observability override for this planner's runs: kEnv defers to the
-  // LAC_OBS environment variable (the process-wide default), kOn/kOff
-  // force tracing + metrics on or off for the duration of plan() /
-  // replan_expanded().
+  // Run controls: execution policy (threads / determinism / chunking),
+  // observability override, and the RNG seed, grouped in one place.
+  // `run.exec` governs every parallel stage of the pipeline (W/D matrix
+  // sweeps, speculative net routing) and is propagated into
+  // `route_opt.exec` by the InterconnectPlanner constructor; results are
+  // bitwise-identical for any thread count.  `run.observability` kEnv
+  // defers to the LAC_OBS environment variable, kOn/kOff force tracing +
+  // metrics for the duration of plan().
+  base::RunControls run;
+
+  // Deprecated aliases of run.observability / run.seed, kept for one
+  // release so existing initialisers keep compiling.  A non-default value
+  // here wins over a still-default run.* field; the InterconnectPlanner
+  // constructor normalises and then keeps both views in sync.
   obs::Override observability = obs::Override::kEnv;
 
   timing::Technology tech = timing::Technology::paper_default();
@@ -64,7 +77,15 @@ struct PlannerConfig {
   route::RouterOptions route_opt;
   repeater::RepeaterPlanOptions repeater_opt;
   retime::LacOptions lac_opt;
-  std::uint64_t seed = 1;
+  std::uint64_t seed = 1;  // deprecated alias of run.seed (see above)
+};
+
+// Options for InterconnectPlanner::plan().
+struct PlanOptions {
+  // Upper bound on planning iterations: the first full pass plus
+  // floorplan-expansion replans while area violations remain.  Must be
+  // >= 1; the paper's flow uses 2.
+  int max_iterations = 1;
 };
 
 struct RetimingOutcome {
@@ -119,10 +140,20 @@ class InterconnectPlanner {
 
   [[nodiscard]] const PlannerConfig& config() const { return config_; }
 
-  // One full interconnect-planning iteration.
+  // Runs up to opts.max_iterations planning iterations — the first full
+  // pass, then floorplan-expansion replans while the LAC result still
+  // violates area constraints.  Returns one PlanResult per iteration
+  // executed (always at least one; fewer than max_iterations when an
+  // iteration fits).
+  [[nodiscard]] std::vector<PlanResult> plan(const netlist::Netlist& nl,
+                                             const PlanOptions& opts) const;
+
+  // Deprecated: single-iteration form, equivalent to
+  // plan(nl, PlanOptions{}).front().
   [[nodiscard]] PlanResult plan(const netlist::Netlist& nl) const;
 
-  // Second planning iteration after floorplan expansion: each violating
+  // Deprecated: use plan(nl, PlanOptions{.max_iterations = k}).  Second
+  // planning iteration after floorplan expansion: each violating
   // soft-block tile's block grows by its overflow (times a margin) and the
   // whitespace target rises when channels overflowed.  Returns nullopt if
   // the previous result had no violations (nothing to expand).

@@ -5,10 +5,12 @@
 #include <queue>
 
 #include "base/check.h"
+#include "base/parallel.h"
 
 namespace lac::retime {
 
-WdMatrices WdMatrices::compute(const RetimingGraph& g) {
+WdMatrices WdMatrices::compute(const RetimingGraph& g,
+                               const base::ExecPolicy& exec) {
   const int n = g.num_vertices();
   // Dense storage is O(n^2) * 8 bytes; refuse sizes that would silently
   // exhaust memory (50k vertices ~ 20 GB) — callers at that scale should
@@ -58,9 +60,11 @@ WdMatrices WdMatrices::compute(const RetimingGraph& g) {
     }
   }
 
-  // Per-source Dijkstra with reduced costs.
+  // Per-source Dijkstra with reduced costs.  Each source u writes only its
+  // own row of W/D plus its own slot of t_init_row, so sources are
+  // independent and run under the caller's ExecPolicy; the t_init max is
+  // reduced sequentially afterwards in source order.
   constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
-  std::vector<std::int64_t> dist(static_cast<std::size_t>(n));
   using Item = std::pair<std::int64_t, int>;
   out.t_init_ = 0;
   out.max_vertex_delay_ = 0;
@@ -68,46 +72,60 @@ WdMatrices WdMatrices::compute(const RetimingGraph& g) {
     out.max_vertex_delay_ =
         std::max(out.max_vertex_delay_, g.delay_decips(v));
 
-  for (int u = 0; u < n; ++u) {
-    std::fill(dist.begin(), dist.end(), kInf);
-    dist[static_cast<std::size_t>(u)] = 0;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-    heap.push({0, u});
-    while (!heap.empty()) {
-      const auto [dd, x] = heap.top();
-      heap.pop();
-      if (dd != dist[static_cast<std::size_t>(x)]) continue;
-      for (const int e : g.out_edges(x)) {
-        const int y = g.edge(e).head;
-        const std::int64_t rc = cost(e) + h[static_cast<std::size_t>(x)] -
-                                h[static_cast<std::size_t>(y)];
-        LAC_CHECK(rc >= 0);
-        const std::int64_t nd = dd + rc;
-        if (nd < dist[static_cast<std::size_t>(y)]) {
-          dist[static_cast<std::size_t>(y)] = nd;
-          heap.push({nd, y});
+  std::vector<std::int32_t> t_init_row(static_cast<std::size_t>(n), 0);
+  base::parallel_for_chunked(
+      exec, static_cast<std::size_t>(n),
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        // One scratch buffer per chunk, reused across its sources.
+        std::vector<std::int64_t> dist(static_cast<std::size_t>(n));
+        for (std::size_t su = chunk_begin; su < chunk_end; ++su) {
+          const int u = static_cast<int>(su);
+          std::fill(dist.begin(), dist.end(), kInf);
+          dist[static_cast<std::size_t>(u)] = 0;
+          std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+          heap.push({0, u});
+          while (!heap.empty()) {
+            const auto [dd, x] = heap.top();
+            heap.pop();
+            if (dd != dist[static_cast<std::size_t>(x)]) continue;
+            for (const int e : g.out_edges(x)) {
+              const int y = g.edge(e).head;
+              const std::int64_t rc = cost(e) +
+                                      h[static_cast<std::size_t>(x)] -
+                                      h[static_cast<std::size_t>(y)];
+              LAC_CHECK(rc >= 0);
+              const std::int64_t nd = dd + rc;
+              if (nd < dist[static_cast<std::size_t>(y)]) {
+                dist[static_cast<std::size_t>(y)] = nd;
+                heap.push({nd, y});
+              }
+            }
+          }
+          const std::size_t row =
+              static_cast<std::size_t>(u) * static_cast<std::size_t>(n);
+          for (int v = 0; v < n; ++v) {
+            if (dist[static_cast<std::size_t>(v)] >= kInf) continue;
+            // Undo the reweighting to recover the true scalar distance.
+            const std::int64_t true_dist = dist[static_cast<std::size_t>(v)] -
+                                           h[static_cast<std::size_t>(u)] +
+                                           h[static_cast<std::size_t>(v)];
+            // Decode (W, S): dist = W*BIG - S with 0 <= S < BIG.
+            const std::int64_t w64 = (true_dist + big - 1) / big;
+            const std::int64_t s = w64 * big - true_dist;
+            LAC_CHECK(w64 >= 0 && s >= 0 && s < big);
+            const std::int64_t d64 = s + g.delay_decips(v);
+            out.w_[row + static_cast<std::size_t>(v)] =
+                static_cast<std::int32_t>(w64);
+            out.d_[row + static_cast<std::size_t>(v)] =
+                static_cast<std::int32_t>(d64);
+            if (w64 == 0)
+              t_init_row[su] =
+                  std::max(t_init_row[su], static_cast<std::int32_t>(d64));
+          }
         }
-      }
-    }
-    const std::size_t row =
-        static_cast<std::size_t>(u) * static_cast<std::size_t>(n);
-    for (int v = 0; v < n; ++v) {
-      if (dist[static_cast<std::size_t>(v)] >= kInf) continue;
-      // Undo the reweighting to recover the true scalar distance.
-      const std::int64_t true_dist = dist[static_cast<std::size_t>(v)] -
-                                     h[static_cast<std::size_t>(u)] +
-                                     h[static_cast<std::size_t>(v)];
-      // Decode (W, S): dist = W*BIG - S with 0 <= S < BIG.
-      const std::int64_t w64 = (true_dist + big - 1) / big;
-      const std::int64_t s = w64 * big - true_dist;
-      LAC_CHECK(w64 >= 0 && s >= 0 && s < big);
-      const std::int64_t d64 = s + g.delay_decips(v);
-      out.w_[row + static_cast<std::size_t>(v)] = static_cast<std::int32_t>(w64);
-      out.d_[row + static_cast<std::size_t>(v)] = static_cast<std::int32_t>(d64);
-      if (w64 == 0)
-        out.t_init_ = std::max(out.t_init_, static_cast<std::int32_t>(d64));
-    }
-  }
+      });
+  for (const std::int32_t t : t_init_row)
+    out.t_init_ = std::max(out.t_init_, t);
   return out;
 }
 

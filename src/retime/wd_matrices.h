@@ -21,6 +21,7 @@
 #include <limits>
 #include <vector>
 
+#include "base/exec_policy.h"
 #include "retime/retiming_graph.h"
 
 namespace lac::retime {
@@ -30,7 +31,14 @@ class WdMatrices {
   static constexpr std::int32_t kUnreachable =
       std::numeric_limits<std::int32_t>::max();
 
-  [[nodiscard]] static WdMatrices compute(const RetimingGraph& g);
+  // The per-source sweeps write disjoint rows, so they parallelise under
+  // `exec` with bitwise-identical results for any thread count.  The
+  // single-argument form runs sequentially.
+  [[nodiscard]] static WdMatrices compute(const RetimingGraph& g) {
+    return compute(g, base::ExecPolicy::sequential());
+  }
+  [[nodiscard]] static WdMatrices compute(const RetimingGraph& g,
+                                          const base::ExecPolicy& exec);
 
   [[nodiscard]] int n() const { return n_; }
   // W(u,v); kUnreachable when no u->v path exists.  W(v,v) = 0 by

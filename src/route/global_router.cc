@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "base/check.h"
+#include "base/parallel.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -32,6 +33,12 @@ int GlobalRouter::edge_index(int cell_a, int cell_b) const {
 }
 
 RouteTree GlobalRouter::route_one(const RouteRequest& net) const {
+  return route_one(net, usage_.data(), nullptr);
+}
+
+RouteTree GlobalRouter::route_one(
+    const RouteRequest& net, const double* usage,
+    const std::vector<int>* removed_edges) const {
   const int nx = grid_.nx();
   const int ny = grid_.ny();
   const int n_cells = nx * ny;
@@ -59,7 +66,10 @@ RouteTree GlobalRouter::route_one(const RouteRequest& net) const {
 
   auto edge_cost = [&](int a, int b) {
     const int e = edge_index(a, b);
-    const double u = usage_[static_cast<std::size_t>(e)];
+    double u = usage[static_cast<std::size_t>(e)];
+    if (removed_edges != nullptr &&
+        std::binary_search(removed_edges->begin(), removed_edges->end(), e))
+      u -= 1.0;
     const double cap = opt_.edge_capacity;
     double cost = 1.0 + history_[static_cast<std::size_t>(e)];
     if (u >= cap) {
@@ -145,6 +155,70 @@ void GlobalRouter::add_usage(const RouteTree& t, double delta) {
     usage_[static_cast<std::size_t>(edge_index(a, b))] += delta;
 }
 
+void GlobalRouter::route_batch(const std::vector<RouteRequest>& nets,
+                               const std::vector<std::size_t>& batch,
+                               bool ripup, std::vector<RouteTree>& trees,
+                               std::vector<char>& dirty) {
+  // Candidates are routed in parallel against a frozen usage snapshot;
+  // edge_cost is constant below half capacity, so a candidate stays exact
+  // as long as every usage change from earlier commits in this batch kept
+  // its edge in the flat-cost region (or didn't change effective usage at
+  // all).  That check is done per net at commit time, in batch order.
+  const std::vector<double> snapshot = usage_;
+  std::vector<RouteTree> candidates(batch.size());
+  std::vector<std::vector<int>> own(batch.size());
+  if (ripup) {
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      for (const auto& [a, b] : trees[batch[k]].edges)
+        own[k].push_back(edge_index(a, b));
+      std::sort(own[k].begin(), own[k].end());
+    }
+  }
+  base::parallel_for(opt_.exec, batch.size(), [&](std::size_t k) {
+    candidates[k] =
+        route_one(nets[batch[k]], snapshot.data(), ripup ? &own[k] : nullptr);
+  });
+
+  const double half = 0.5 * opt_.edge_capacity;
+  std::vector<int> dirty_list;
+  auto mark = [&](const RouteTree& t) {
+    for (const auto& [a, b] : t.edges) {
+      const int e = edge_index(a, b);
+      if (!dirty[static_cast<std::size_t>(e)]) {
+        dirty[static_cast<std::size_t>(e)] = 1;
+        dirty_list.push_back(e);
+      }
+    }
+  };
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const std::size_t i = batch[k];
+    bool valid = true;
+    for (const int e : dirty_list) {
+      double s = snapshot[static_cast<std::size_t>(e)];
+      double c = usage_[static_cast<std::size_t>(e)];
+      if (ripup && std::binary_search(own[k].begin(), own[k].end(), e)) {
+        s -= 1.0;
+        c -= 1.0;
+      }
+      if (s != c && !(s <= half && c <= half)) {
+        valid = false;
+        break;
+      }
+    }
+    if (ripup) {
+      mark(trees[i]);
+      add_usage(trees[i], -1.0);
+    }
+    if (valid)
+      trees[i] = std::move(candidates[k]);
+    else
+      trees[i] = route_one(nets[i]);  // sequential fallback, current usage
+    add_usage(trees[i], 1.0);
+    mark(trees[i]);
+  }
+  for (const int e : dirty_list) dirty[static_cast<std::size_t>(e)] = 0;
+}
+
 std::vector<RouteTree> GlobalRouter::route_all(
     const std::vector<RouteRequest>& nets) {
   stats_ = {};
@@ -163,9 +237,23 @@ std::vector<RouteTree> GlobalRouter::route_all(
     };
     return span(nets[a]) > span(nets[b]);
   });
-  for (const std::size_t i : order) {
-    trees[i] = route_one(nets[i]);
-    add_usage(trees[i], 1.0);
+  const int workers = opt_.exec.resolved_threads();
+  std::vector<char> dirty;
+  const std::size_t batch_size = static_cast<std::size_t>(workers) * 4;
+  if (workers <= 1) {
+    for (const std::size_t i : order) {
+      trees[i] = route_one(nets[i]);
+      add_usage(trees[i], 1.0);
+    }
+  } else {
+    dirty.assign(usage_.size(), 0);
+    for (std::size_t begin = 0; begin < order.size(); begin += batch_size) {
+      const std::size_t end = std::min(order.size(), begin + batch_size);
+      const std::vector<std::size_t> batch(
+          order.begin() + static_cast<std::ptrdiff_t>(begin),
+          order.begin() + static_cast<std::ptrdiff_t>(end));
+      route_batch(nets, batch, /*ripup=*/false, trees, dirty);
+    }
   }
 
   // Rip-up & re-route rounds over nets that touch overflowed edges.
@@ -184,21 +272,35 @@ std::vector<RouteTree> GlobalRouter::route_all(
     round_span.annotate("round", round + 1);
     round_span.annotate("overflowed_edges", n_over);
     stats_.ripup_rounds_used = round + 1;
-    long long rerouted = 0;
+    // The reroute set is fixed at round start: every net is tested before
+    // it is itself rerouted, and reroutes of other nets don't change it.
+    std::vector<std::size_t> to_reroute;
     for (std::size_t i = 0; i < nets.size(); ++i) {
       if (!trees[i].routed()) continue;
-      bool touches = false;
       for (const auto& [a, b] : trees[i].edges)
         if (overflowed[static_cast<std::size_t>(edge_index(a, b))]) {
-          touches = true;
+          to_reroute.push_back(i);
           break;
         }
-      if (!touches) continue;
-      add_usage(trees[i], -1.0);
-      trees[i] = route_one(nets[i]);
-      add_usage(trees[i], 1.0);
-      ++rerouted;
     }
+    if (workers <= 1) {
+      for (const std::size_t i : to_reroute) {
+        add_usage(trees[i], -1.0);
+        trees[i] = route_one(nets[i]);
+        add_usage(trees[i], 1.0);
+      }
+    } else {
+      for (std::size_t begin = 0; begin < to_reroute.size();
+           begin += batch_size) {
+        const std::size_t end =
+            std::min(to_reroute.size(), begin + batch_size);
+        const std::vector<std::size_t> batch(
+            to_reroute.begin() + static_cast<std::ptrdiff_t>(begin),
+            to_reroute.begin() + static_cast<std::ptrdiff_t>(end));
+        route_batch(nets, batch, /*ripup=*/true, trees, dirty);
+      }
+    }
+    const long long rerouted = static_cast<long long>(to_reroute.size());
     stats_.nets_rerouted += rerouted;
     round_span.annotate("nets_rerouted", rerouted);
   }

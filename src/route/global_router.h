@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/exec_policy.h"
 #include "tile/tile_grid.h"
 
 namespace lac::route {
@@ -43,6 +44,9 @@ struct RouterOptions {
   double congestion_weight = 2.0;  // cost multiplier once usage nears capacity
   double history_weight = 1.5;     // negotiated-congestion history increment
   int ripup_rounds = 3;
+  // Execution policy for speculative parallel net routing (see route_all).
+  // Output is bitwise-identical to sequential routing for any thread count.
+  base::ExecPolicy exec = base::ExecPolicy::sequential();
 };
 
 struct RoutingStats {
@@ -78,6 +82,23 @@ class GlobalRouter {
 
  private:
   [[nodiscard]] RouteTree route_one(const RouteRequest& net) const;
+  // Core maze routing against an explicit usage array.  `removed_edges`
+  // (sorted edge indices, may be null) is an overlay subtracting one track
+  // per listed edge — used during rip-up to exclude a net's own tree
+  // without mutating shared state.
+  [[nodiscard]] RouteTree route_one(
+      const RouteRequest& net, const double* usage,
+      const std::vector<int>* removed_edges) const;
+  // Routes the nets in `batch` (indices into nets/trees) in parallel
+  // against a usage snapshot, then commits them sequentially in batch
+  // order.  A speculative tree is committed only when every edge whose
+  // usage changed since the snapshot still yields the identical cost; any
+  // other net is rerouted on the spot, so the result is exactly what the
+  // purely sequential algorithm produces.  `dirty` is a caller-provided
+  // all-zero scratch buffer of edge flags (returned all-zero).
+  void route_batch(const std::vector<RouteRequest>& nets,
+                   const std::vector<std::size_t>& batch, bool ripup,
+                   std::vector<RouteTree>& trees, std::vector<char>& dirty);
   void add_usage(const RouteTree& t, double delta);
   [[nodiscard]] int edge_index(int cell_a, int cell_b) const;
 

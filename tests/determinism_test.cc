@@ -1,0 +1,117 @@
+// Thread-count invariance of the whole planning pipeline: for Table-1
+// circuits, every PlanResult counter, both retimings' register placements,
+// and the structured run report (with wall-clock fields stripped) must be
+// byte-identical whether the pipeline runs on 1, 2, or 8 threads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench89/suite.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "obs/span.h"
+#include "planner/interconnect_planner.h"
+
+namespace lac::planner {
+namespace {
+
+// Drops every object member whose key mentions wall-clock time ("seconds"
+// span fields, "*_seconds" metric names); all other structure, order and
+// values are preserved.
+obs::json::Value strip_times(const obs::json::Value& v) {
+  obs::json::Value out = v;
+  out.array.clear();
+  out.object.clear();
+  for (const auto& e : v.array) out.array.push_back(strip_times(e));
+  for (const auto& [key, val] : v.object) {
+    if (key.find("seconds") != std::string::npos) continue;
+    out.object.emplace_back(key, strip_times(val));
+  }
+  return out;
+}
+
+struct Snapshot {
+  PlanResult res;
+  std::string report;  // serialized, time-stripped
+};
+
+Snapshot run_plan(const char* circuit, int threads) {
+  const auto& entry = bench89::entry_by_name(circuit);
+  const auto nl = bench89::load(entry);
+  obs::ScopedEnable on(true);
+  obs::Metrics::instance().reset();
+  (void)obs::take_finished_roots();
+
+  PlannerConfig cfg;
+  cfg.run.seed = 7;
+  cfg.run.exec.threads = threads;
+  cfg.num_blocks = entry.recommended_blocks;
+  const InterconnectPlanner planner(cfg);
+
+  Snapshot snap{planner.plan(nl),
+                obs::json::serialize(
+                    strip_times(obs::build_report("determinism")))};
+  return snap;
+}
+
+void expect_identical(const Snapshot& a, const Snapshot& b,
+                      const char* circuit, int threads) {
+  SCOPED_TRACE(std::string(circuit) + " @ " + std::to_string(threads) +
+               " threads");
+  const PlanResult& x = a.res;
+  const PlanResult& y = b.res;
+
+  // Timing landmarks and constraint counts, bit-exact.
+  EXPECT_EQ(x.t_init_ps, y.t_init_ps);
+  EXPECT_EQ(x.t_min_ps, y.t_min_ps);
+  EXPECT_EQ(x.t_clk_ps, y.t_clk_ps);
+  EXPECT_EQ(x.clock_constraints, y.clock_constraints);
+  EXPECT_EQ(x.clock_constraints_unpruned, y.clock_constraints_unpruned);
+
+  // Routing is speculative under threads but must commit identically.
+  EXPECT_EQ(x.routing.total_wirelength_um, y.routing.total_wirelength_um);
+  EXPECT_EQ(x.routing.overflowed_edges, y.routing.overflowed_edges);
+  EXPECT_EQ(x.routing.max_usage, y.routing.max_usage);
+  EXPECT_EQ(x.routing.nets_rerouted, y.routing.nets_rerouted);
+  EXPECT_EQ(x.routing.ripup_rounds_used, y.routing.ripup_rounds_used);
+  EXPECT_EQ(x.routing.usage_histogram, y.routing.usage_histogram);
+  EXPECT_EQ(x.repeaters, y.repeaters);
+  EXPECT_EQ(x.interconnect_units, y.interconnect_units);
+
+  // Both retimings: the full retiming vectors and area accounting.
+  EXPECT_EQ(x.min_area.r, y.min_area.r);
+  EXPECT_EQ(x.lac.r, y.lac.r);
+  EXPECT_EQ(x.min_area.report.n_foa, y.min_area.report.n_foa);
+  EXPECT_EQ(x.min_area.report.n_f, y.min_area.report.n_f);
+  EXPECT_EQ(x.min_area.report.n_fn, y.min_area.report.n_fn);
+  EXPECT_EQ(x.lac.report.n_foa, y.lac.report.n_foa);
+  EXPECT_EQ(x.lac.report.n_f, y.lac.report.n_f);
+  EXPECT_EQ(x.lac.report.n_fn, y.lac.report.n_fn);
+  EXPECT_EQ(x.lac.report.ac, y.lac.report.ac);
+  EXPECT_EQ(x.lac.n_wr, y.lac.n_wr);
+
+  // The whole observability record — span tree shape, annotations,
+  // counters, histogram counts — byte-identical once times are stripped.
+  EXPECT_EQ(a.report, b.report);
+}
+
+class Determinism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Determinism, IdenticalAcrossThreadCounts) {
+  const char* circuit = GetParam();
+  const Snapshot base = run_plan(circuit, 1);
+  EXPECT_FALSE(base.report.empty());
+  for (const int w : {2, 8}) {
+    const Snapshot got = run_plan(circuit, w);
+    expect_identical(base, got, circuit, w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, Determinism,
+                         ::testing::Values("y298", "y386", "y400"));
+
+}  // namespace
+}  // namespace lac::planner

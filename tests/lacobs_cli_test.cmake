@@ -40,6 +40,11 @@ run_expect(0 ${TABLE1} --help)
 run_expect(64 ${TABLE1} --bogus)
 run_expect(64 ${TABLE1} out_a out_b)
 run_expect(64 ${TABLE1} --limit notanumber)
+# --threads: negative or malformed counts are usage errors (0 = auto is
+# accepted, exercised by the perf-gate job, not here — it runs the suite).
+run_expect(64 ${TABLE1} --threads -1)
+run_expect(64 ${TABLE1} --threads notanumber)
+run_expect(64 ${TABLE1} --threads)
 
 # diff: clean self-diff, exit 2 when a deterministic counter
 # (mcf.augmentations) was doctored — timings alone must not mask it even
