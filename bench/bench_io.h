@@ -27,6 +27,11 @@ struct Cli {
   // also when the flag is absent) resolves to hardware_concurrency() with
   // a floor of 1.  Negative values are rejected with exit 64.
   long long threads = 0;
+  // --lac-incremental on|off: force LacOptions::incremental for the run;
+  // -1 (flag absent) keeps the pipeline default.  Both modes produce
+  // bit-identical planning results — the flag exists for cold-vs-warm
+  // solver comparisons (CI cross-mode gate, bench/incremental_mcf).
+  int lac_incremental = -1;
 
   // The parsed --threads value as an ExecPolicy (deterministic scheduling;
   // results are bitwise-identical for any thread count).
@@ -49,7 +54,13 @@ inline void print_usage(std::FILE* to, const char* tool, bool with_limit) {
                " unset = all\n"
                "              hardware threads (at least 1); output is"
                " identical for\n"
-               "              any thread count\n",
+               "              any thread count\n"
+               "  --lac-incremental on|off\n"
+               "              warm-start the LAC min-cost-flow solver across"
+               " rounds (on,\n"
+               "              the default) or re-solve cold every round;"
+               " results are\n"
+               "              identical either way\n",
                tool, with_limit ? " [--limit N]" : "");
   if (with_limit)
     std::fprintf(to,
@@ -92,6 +103,23 @@ inline Cli parse_cli(int argc, char** argv, const char* tool,
       if (end == nullptr || *end != '\0' || end == argv[i] ||
           cli.threads < 0) {
         std::fprintf(stderr, "%s: bad --threads value '%s'\n", tool, argv[i]);
+        std::exit(64);
+      }
+      continue;
+    }
+    if (arg == "--lac-incremental") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --lac-incremental needs on|off\n", tool);
+        std::exit(64);
+      }
+      const std::string mode = argv[++i];
+      if (mode == "on") {
+        cli.lac_incremental = 1;
+      } else if (mode == "off") {
+        cli.lac_incremental = 0;
+      } else {
+        std::fprintf(stderr, "%s: bad --lac-incremental value '%s'"
+                     " (want on|off)\n", tool, mode.c_str());
         std::exit(64);
       }
       continue;

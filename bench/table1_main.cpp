@@ -62,6 +62,8 @@ int main(int argc, char** argv) {
             cfg.run.seed = 7;
             cfg.run.exec = exec;
             cfg.num_blocks = suite[i].recommended_blocks;
+            if (cli.lac_incremental >= 0)
+              cfg.lac_opt.incremental = cli.lac_incremental != 0;
             const planner::InterconnectPlanner planner(cfg);
             // Second planning iteration (floorplan expansion) runs when
             // violations remain — the parenthesised column of the table.

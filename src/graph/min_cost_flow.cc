@@ -1,5 +1,6 @@
 #include "graph/min_cost_flow.h"
 
+#include <algorithm>
 #include <deque>
 #include <queue>
 
@@ -11,6 +12,12 @@ namespace lac::graph {
 
 namespace {
 constexpr std::int64_t kInfDist = std::numeric_limits<std::int64_t>::max() / 4;
+
+void check_balanced(const std::vector<std::int64_t>& supply) {
+  std::int64_t total = 0;
+  for (const std::int64_t s : supply) total += s;
+  LAC_CHECK_MSG(total == 0, "supplies must sum to zero, got " << total);
+}
 }  // namespace
 
 MinCostFlow::MinCostFlow(int num_nodes)
@@ -29,11 +36,14 @@ int MinCostFlow::add_arc(int from, int to, std::int64_t capacity,
   arc_to_.push_back(to);
   arc_cap_.push_back(capacity);
   arc_cost_.push_back(cost);
+  orig_cap_.push_back(capacity);
   out_[static_cast<std::size_t>(from)].push_back(idx);
   arc_to_.push_back(from);
   arc_cap_.push_back(0);
   arc_cost_.push_back(-cost);
+  orig_cap_.push_back(0);
   out_[static_cast<std::size_t>(to)].push_back(idx + 1);
+  warm_valid_ = false;  // the previous optimum does not cover the new arc
   return idx / 2;
 }
 
@@ -45,6 +55,20 @@ void MinCostFlow::set_supply(int node, std::int64_t supply) {
 void MinCostFlow::add_supply(int node, std::int64_t delta) {
   LAC_CHECK(node >= 0 && node < n_);
   supply_[static_cast<std::size_t>(node)] += delta;
+}
+
+void MinCostFlow::update_arc_cost(int arc, std::int64_t cost) {
+  LAC_CHECK(arc >= 0 && arc < num_arcs());
+  const auto f = static_cast<std::size_t>(2 * arc);
+  if (arc_cost_[f] == cost) return;
+  arc_cost_[f] = cost;
+  arc_cost_[f + 1] = -cost;
+  dirty_arcs_.push_back(arc);
+}
+
+std::int64_t MinCostFlow::arc_cost(int arc) const {
+  LAC_CHECK(arc >= 0 && arc < num_arcs());
+  return arc_cost_[static_cast<std::size_t>(2 * arc)];
 }
 
 std::optional<std::vector<std::int64_t>> MinCostFlow::initial_potentials() {
@@ -81,48 +105,13 @@ std::optional<std::vector<std::int64_t>> MinCostFlow::initial_potentials() {
   return dist;
 }
 
-std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
-  {
-    std::int64_t total = 0;
-    for (const std::int64_t s : supply_) total += s;
-    LAC_CHECK_MSG(total == 0, "supplies must sum to zero, got " << total);
-  }
-
-  stats_ = {};
-  obs::Span span("mcf.solve");
-  span.annotate("nodes", n_);
-  span.annotate("arcs", num_arcs());
-  const auto finish = [&](bool feasible) {
-    span.annotate("feasible", feasible);
-    span.annotate("augmentations", stats_.augmentations);
-    span.annotate("dijkstra_pops", stats_.dijkstra_pops);
-    span.annotate("arcs_relaxed", stats_.arcs_relaxed);
-    span.annotate("spfa_relaxations", stats_.spfa_relaxations);
-    span.annotate("flow_shipped", stats_.flow_shipped);
-    obs::count("mcf.solves");
-    if (!feasible) obs::count("mcf.infeasible_solves");
-    obs::count("mcf.augmentations", stats_.augmentations);
-    obs::count("mcf.arcs_relaxed", stats_.arcs_relaxed);
-    obs::count("mcf.spfa_relaxations", stats_.spfa_relaxations);
-    obs::observe("mcf.solve_seconds", span.elapsed_seconds());
-  };
-
-  auto pot = initial_potentials();
-  if (!pot) {
-    finish(false);
-    return std::nullopt;  // negative cycle: unbounded
-  }
-  std::vector<std::int64_t> pi = std::move(*pot);
-
-  std::vector<std::int64_t> excess = supply_;
-
+bool MinCostFlow::ship(std::vector<std::int64_t>& excess,
+                       std::vector<std::int64_t>& pi) {
   // Dijkstra scratch space.
   std::vector<std::int64_t> dist(static_cast<std::size_t>(n_));
   std::vector<int> parent_arc(static_cast<std::size_t>(n_));
   using HeapItem = std::pair<std::int64_t, int>;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-
-  __int128 total_cost = 0;
 
   for (int source = 0; source < n_; ++source) {
     while (excess[static_cast<std::size_t>(source)] > 0) {
@@ -166,10 +155,7 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
       // Drain any leftover heap entries before the next iteration.
       while (!heap.empty()) heap.pop();
 
-      if (sink == -1) {
-        finish(false);
-        return std::nullopt;  // cannot route: infeasible
-      }
+      if (sink == -1) return false;  // cannot route: infeasible
 
       // Update potentials so reduced costs stay nonnegative.  Nodes not
       // settled keep their potential but must not be used until re-reached;
@@ -192,8 +178,6 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
         const int a = parent_arc[static_cast<std::size_t>(v)];
         arc_cap_[static_cast<std::size_t>(a)] -= push;
         arc_cap_[static_cast<std::size_t>(a ^ 1)] += push;
-        total_cost +=
-            static_cast<__int128>(arc_cost_[static_cast<std::size_t>(a)]) * push;
         v = arc_to_[static_cast<std::size_t>(a ^ 1)];
       }
       excess[static_cast<std::size_t>(source)] -= push;
@@ -202,18 +186,228 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
       stats_.flow_shipped += push;
     }
   }
-  finish(true);
+  return true;
+}
 
+std::optional<MinCostFlow::Solution> MinCostFlow::finish_solution(
+    std::vector<std::int64_t> pi) {
   Solution sol;
-  sol.total_cost = static_cast<double>(total_cost);
-  sol.potential = std::move(pi);
   sol.flow.resize(static_cast<std::size_t>(num_arcs()));
+  __int128 total_cost = 0;
   for (int i = 0; i < num_arcs(); ++i) {
-    // Flow on forward arc 2i equals residual capacity of its twin 2i+1.
-    sol.flow[static_cast<std::size_t>(i)] =
-        arc_cap_[static_cast<std::size_t>(2 * i + 1)];
+    // Flow on forward arc 2i equals residual capacity of its twin 2i+1
+    // (backward arcs are constructed with zero capacity).
+    const std::int64_t f = arc_cap_[static_cast<std::size_t>(2 * i + 1)];
+    sol.flow[static_cast<std::size_t>(i)] = f;
+    total_cost +=
+        static_cast<__int128>(arc_cost_[static_cast<std::size_t>(2 * i)]) * f;
   }
+  LAC_CHECK_MSG(
+      total_cost <= static_cast<__int128>(
+                        std::numeric_limits<std::int64_t>::max()) &&
+          total_cost >= static_cast<__int128>(
+                            std::numeric_limits<std::int64_t>::min()),
+      "min-cost-flow objective overflows int64");
+  sol.total_cost_exact = static_cast<std::int64_t>(total_cost);
+  sol.total_cost = static_cast<double>(sol.total_cost_exact);
+
+  // Retain the warm state for a future resolve().
+  pi_ = pi;
+  shipped_ = supply_;
+  dirty_arcs_.clear();
+  warm_valid_ = true;
+
+  sol.potential = std::move(pi);
   return sol;
+}
+
+std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
+  check_balanced(supply_);
+
+  stats_ = {};
+  warm_valid_ = false;
+  dirty_arcs_.clear();
+  arc_cap_ = orig_cap_;  // re-solve from zero flow, whatever ran before
+
+  obs::Span span("mcf.solve");
+  span.annotate("nodes", n_);
+  span.annotate("arcs", num_arcs());
+  span.annotate("warm", false);
+  const auto finish = [&](bool feasible) {
+    span.annotate("feasible", feasible);
+    span.annotate("augmentations", stats_.augmentations);
+    span.annotate("dijkstra_pops", stats_.dijkstra_pops);
+    span.annotate("arcs_relaxed", stats_.arcs_relaxed);
+    span.annotate("spfa_relaxations", stats_.spfa_relaxations);
+    span.annotate("flow_shipped", stats_.flow_shipped);
+    obs::count("mcf.solves");
+    if (!feasible) obs::count("mcf.infeasible_solves");
+    obs::count("mcf.augmentations", stats_.augmentations);
+    obs::count("mcf.arcs_relaxed", stats_.arcs_relaxed);
+    obs::count("mcf.spfa_relaxations", stats_.spfa_relaxations);
+    obs::observe("mcf.solve_seconds", span.elapsed_seconds());
+  };
+
+  auto pot = initial_potentials();
+  if (!pot) {
+    finish(false);
+    return std::nullopt;  // negative cycle: unbounded
+  }
+  std::vector<std::int64_t> pi = std::move(*pot);
+  std::vector<std::int64_t> excess = supply_;
+
+  const bool feasible = ship(excess, pi);
+  finish(feasible);
+  if (!feasible) return std::nullopt;
+  return finish_solution(std::move(pi));
+}
+
+std::optional<MinCostFlow::Solution> MinCostFlow::resolve() {
+  if (!warm_valid_) return solve();
+  check_balanced(supply_);
+
+  stats_ = {};
+  stats_.warm = true;
+
+  obs::Span span("mcf.solve");
+  span.annotate("nodes", n_);
+  span.annotate("arcs", num_arcs());
+  span.annotate("warm", true);
+
+  // The previous flow ships `shipped_`; only the supply delta is left.
+  std::vector<std::int64_t> excess(static_cast<std::size_t>(n_));
+  for (int v = 0; v < n_; ++v)
+    excess[static_cast<std::size_t>(v)] =
+        supply_[static_cast<std::size_t>(v)] -
+        shipped_[static_cast<std::size_t>(v)];
+
+  if (!dirty_arcs_.empty()) {
+    // Cost updates may have broken reduced-cost optimality.  Violations on
+    // finite residual arcs (including the backward arcs of flow pushed onto
+    // now-expensive arcs) are repaired by cancel-and-reroute: saturate the
+    // violating arc and let ship() re-route the displaced units.  A
+    // violation on a kInfCap arc cannot be saturated; refit the potentials
+    // over the warm residual network instead.
+    bool need_refit = false;
+    for (const int idx : dirty_arcs_) {
+      for (const int a : {2 * idx, 2 * idx + 1}) {
+        const auto sa = static_cast<std::size_t>(a);
+        if (arc_cap_[sa] <= 0) continue;
+        const int u = arc_to_[static_cast<std::size_t>(a ^ 1)];
+        const int v = arc_to_[sa];
+        const std::int64_t rc = arc_cost_[sa] +
+                                pi_[static_cast<std::size_t>(u)] -
+                                pi_[static_cast<std::size_t>(v)];
+        if (rc >= 0) continue;
+        if (arc_cap_[sa] >= kInfCap / 2) {
+          need_refit = true;
+          break;
+        }
+      }
+      if (need_refit) break;
+    }
+    if (need_refit) {
+      auto pot = initial_potentials();
+      if (!pot) {
+        // Negative cycle in the warm residual network: a bounded repair
+        // would need explicit cycle cancelling; resort to a cold solve
+        // (exact, just not incremental).
+        span.annotate("warm_fallback", true);
+        obs::count("mcf.warm_fallbacks");
+        auto sol = solve();
+        stats_.warm_fallbacks = 1;
+        return sol;
+      }
+      span.annotate("warm_refit", true);
+      pi_ = std::move(*pot);
+    } else {
+      for (const int idx : dirty_arcs_) {
+        for (const int a : {2 * idx, 2 * idx + 1}) {
+          const auto sa = static_cast<std::size_t>(a);
+          if (arc_cap_[sa] <= 0) continue;
+          const int u = arc_to_[static_cast<std::size_t>(a ^ 1)];
+          const int v = arc_to_[sa];
+          const std::int64_t rc = arc_cost_[sa] +
+                                  pi_[static_cast<std::size_t>(u)] -
+                                  pi_[static_cast<std::size_t>(v)];
+          if (rc >= 0) continue;
+          const std::int64_t delta = arc_cap_[sa];
+          arc_cap_[sa] = 0;
+          arc_cap_[static_cast<std::size_t>(a ^ 1)] += delta;
+          excess[static_cast<std::size_t>(u)] -= delta;
+          excess[static_cast<std::size_t>(v)] += delta;
+          ++stats_.repaired_arcs;
+        }
+      }
+    }
+    dirty_arcs_.clear();
+  }
+
+  std::vector<std::int64_t> pi = pi_;
+  const bool feasible = ship(excess, pi);
+
+  span.annotate("feasible", feasible);
+  span.annotate("augmentations", stats_.augmentations);
+  span.annotate("dijkstra_pops", stats_.dijkstra_pops);
+  span.annotate("arcs_relaxed", stats_.arcs_relaxed);
+  span.annotate("spfa_relaxations", stats_.spfa_relaxations);
+  span.annotate("flow_shipped", stats_.flow_shipped);
+  span.annotate("repaired_arcs", stats_.repaired_arcs);
+  obs::count("mcf.solves");
+  obs::count("mcf.warm_restarts");
+  obs::count("mcf.repaired_arcs", stats_.repaired_arcs);
+  if (!feasible) obs::count("mcf.infeasible_solves");
+  obs::count("mcf.augmentations", stats_.augmentations);
+  obs::count("mcf.arcs_relaxed", stats_.arcs_relaxed);
+  obs::count("mcf.spfa_relaxations", stats_.spfa_relaxations);
+  obs::observe("mcf.solve_seconds", span.elapsed_seconds());
+
+  if (!feasible) {
+    warm_valid_ = false;
+    return std::nullopt;
+  }
+  return finish_solution(std::move(pi));
+}
+
+std::vector<std::int64_t> MinCostFlow::residual_distances_from(
+    int root) const {
+  LAC_CHECK(root >= 0 && root < n_);
+  LAC_CHECK_MSG(warm_valid_ && dirty_arcs_.empty(),
+                "residual distances need an up-to-date optimum");
+  // Dijkstra on reduced costs (nonnegative by the warm invariant), then
+  // translate back to original-cost distances:
+  //   d(v) = d^pi(v) − pi(root) + pi(v).
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n_), kInfDist);
+  using HeapItem = std::pair<std::int64_t, int>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(root)] = 0;
+  heap.push({0, root});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[static_cast<std::size_t>(u)]) continue;
+    for (const int a : out_[static_cast<std::size_t>(u)]) {
+      const auto sa = static_cast<std::size_t>(a);
+      if (arc_cap_[sa] <= 0) continue;
+      const int v = arc_to_[sa];
+      const std::int64_t rc = arc_cost_[sa] +
+                              pi_[static_cast<std::size_t>(u)] -
+                              pi_[static_cast<std::size_t>(v)];
+      LAC_CHECK_MSG(rc >= 0, "negative reduced cost " << rc);
+      const std::int64_t nd = d + rc;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        heap.push({nd, v});
+      }
+    }
+  }
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n_), kUnreachable);
+  for (int v = 0; v < n_; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    if (dist[sv] >= kInfDist) continue;
+    out[sv] = dist[sv] - pi_[static_cast<std::size_t>(root)] + pi_[sv];
+  }
+  return out;
 }
 
 }  // namespace lac::graph

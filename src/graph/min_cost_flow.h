@@ -1,4 +1,5 @@
-// Minimum-cost flow via successive shortest paths with Johnson potentials.
+// Minimum-cost flow via successive shortest paths with Johnson potentials,
+// with explicit re-solve and warm-start support.
 //
 // This is the optimisation engine behind (weighted) min-area retiming: the
 // retiming LP  min Σ b(v)·r(v)  s.t.  r(u) − r(v) ≤ c(u,v)  is the linear-
@@ -11,11 +12,34 @@
 //     or lower) — handled by Bellman–Ford initial potentials;
 //   * "infinite" capacities (use MinCostFlow::kInfCap);
 //   * node supplies/demands (b-flow), with Σ supply = 0 enforced;
-//   * exposure of the final potentials, which is what retiming reads back.
+//   * exposure of the final potentials, which is what retiming reads back;
+//   * re-solving the same instance: solve() is idempotent (residual
+//     capacities are restored first), and resolve() warm-starts from the
+//     previous optimum — see below.
+//
+// Warm-start contract (docs/INCREMENTAL_MCF.md).  After a successful
+// solve()/resolve() the instance retains its optimal flow and potentials.
+// The caller may then change supplies (set_supply/add_supply) and arc
+// costs (update_arc_cost) and call resolve():
+//   * supply changes keep reduced-cost optimality intact — only the net
+//     imbalance Δb is shipped, via Dijkstra phases on the warm residual
+//     network (no Bellman–Ford, no shipping from zero);
+//   * cost changes can leave residual arcs with negative reduced cost;
+//     finite-capacity violations (which include cancelling flow pushed
+//     onto now-expensive arcs) are repaired by cancel-and-reroute:
+//     the violating residual arc is saturated and the displaced flow is
+//     re-shipped along shortest paths together with Δb;
+//   * violations on kInfCap arcs cannot be saturated; potentials are
+//     refitted by one Bellman–Ford pass over the warm residual network,
+//     and if that detects a negative residual cycle the call falls back
+//     to a cold solve (still correct, counted in warm_fallbacks).
+// Either way resolve() returns an exact optimum of the updated instance —
+// never an approximation.
 //
 // Complexity: O(#augmentations · E log V) with #augmentations ≤ V for
-// b-flows shipped greedily source-by-source.  Costs/flows are int64;
-// the objective is accumulated in __int128 to avoid overflow.
+// b-flows shipped greedily source-by-source; a warm resolve() pays only
+// for the imbalance actually re-shipped.  Costs/flows are int64; the
+// objective is accumulated in __int128 and exposed exactly.
 #pragma once
 
 #include <cstdint>
@@ -29,18 +53,32 @@ class MinCostFlow {
  public:
   static constexpr std::int64_t kInfCap =
       std::numeric_limits<std::int64_t>::max() / 4;
+  // Sentinel distance for nodes unreachable in the residual network
+  // (residual_distances_from).
+  static constexpr std::int64_t kUnreachable =
+      std::numeric_limits<std::int64_t>::max() / 4;
 
   explicit MinCostFlow(int num_nodes);
 
   // Adds a directed arc; returns its index for later flow queries.
+  // Invalidates any warm state (the next resolve() solves cold).
   int add_arc(int from, int to, std::int64_t capacity, std::int64_t cost);
 
   // Positive supply = net out-flow the node must ship; negative = demand.
   void set_supply(int node, std::int64_t supply);
   void add_supply(int node, std::int64_t delta);
 
+  // Changes the cost of an existing arc (index as returned by add_arc).
+  // The warm state is kept; the next resolve() repairs any reduced-cost
+  // violations the change introduced instead of solving from zero.
+  void update_arc_cost(int arc, std::int64_t cost);
+  [[nodiscard]] std::int64_t arc_cost(int arc) const;
+
   struct Solution {
-    // Exact optimum objective (Σ cost·flow), also as double for reporting.
+    // Exact optimum objective Σ cost·flow.  Accumulated in __int128 and
+    // checked to fit — never silently narrowed.
+    std::int64_t total_cost_exact = 0;
+    // The same value as a double, kept for reporting convenience only.
     double total_cost = 0.0;
     // Flow on each arc, indexed by add_arc() return values.
     std::vector<std::int64_t> flow;
@@ -50,18 +88,45 @@ class MinCostFlow {
     std::vector<std::int64_t> potential;
   };
 
-  // Returns nullopt if the instance is infeasible (supplies cannot be
-  // routed) or unbounded (negative cycle of infinite-capacity arcs).
+  // Cold solve: restores every arc's residual capacity to its constructed
+  // value and ships all supplies from a zero flow.  Well-defined any
+  // number of times on the same instance — a second solve() returns the
+  // same solution as the first.  Returns nullopt if the instance is
+  // infeasible (supplies cannot be routed) or unbounded (negative cycle
+  // of infinite-capacity arcs).
   [[nodiscard]] std::optional<Solution> solve();
 
-  // Solver internals of the most recent solve() call — the augmentation
-  // and relaxation counts the observability layer reports.
+  // Warm re-solve after supply and/or cost updates: reuses the previous
+  // optimum's flow and potentials and repairs them (see the warm-start
+  // contract above).  Falls back to — and is exactly equivalent to — a
+  // cold solve() when no previous optimum exists.
+  [[nodiscard]] std::optional<Solution> resolve();
+
+  // Shortest distances from `root` to every node over the *current*
+  // residual network, measured in original arc costs (computed with
+  // Dijkstra on reduced costs, so it is cheap).  Only valid after a
+  // successful solve()/resolve() with no updates since.  Unreachable
+  // nodes get kUnreachable.
+  //
+  // For an optimal flow these distances are *canonical*: every optimal
+  // flow of the instance yields the same vector (they are the marginal
+  // costs of shipping one more unit root→v, a property of the LP, not of
+  // the particular optimum found).  The retiming layer derives its labels
+  // from them so that cold and warm solves agree bit-for-bit.
+  [[nodiscard]] std::vector<std::int64_t> residual_distances_from(
+      int root) const;
+
+  // Solver internals of the most recent solve()/resolve() call — the
+  // augmentation and relaxation counts the observability layer reports.
   struct SolveStats {
     int augmentations = 0;          // shortest-path phases that shipped flow
     long long dijkstra_pops = 0;    // heap extractions across all phases
     long long arcs_relaxed = 0;     // residual arcs scanned (Dijkstra phase)
     long long spfa_relaxations = 0; // Bellman–Ford (SPFA) phase relaxations
     std::int64_t flow_shipped = 0;  // total units pushed along paths
+    bool warm = false;              // this solve reused the previous optimum
+    int repaired_arcs = 0;          // residual arcs cancel-and-rerouted
+    int warm_fallbacks = 0;         // warm attempts that fell back to cold
   };
   [[nodiscard]] const SolveStats& stats() const { return stats_; }
 
@@ -74,12 +139,30 @@ class MinCostFlow {
   std::vector<int> arc_to_;
   std::vector<std::int64_t> arc_cap_;   // residual capacity
   std::vector<std::int64_t> arc_cost_;
+  std::vector<std::int64_t> orig_cap_;  // constructed capacities (reset)
   std::vector<std::vector<int>> out_;   // node -> residual arc indices
   std::vector<std::int64_t> supply_;
   SolveStats stats_;
 
+  // Warm state: valid after a successful solve()/resolve().  `pi_` keeps
+  // reduced costs nonnegative over the residual network left by the flow
+  // that ships `shipped_`.
+  bool warm_valid_ = false;
+  std::vector<std::int64_t> pi_;
+  std::vector<std::int64_t> shipped_;
+  std::vector<int> dirty_arcs_;  // arcs re-costed since the last optimum
+
   // Bellman–Ford over residual arcs with cap > 0; nullopt on negative cycle.
   [[nodiscard]] std::optional<std::vector<std::int64_t>> initial_potentials();
+
+  // Shared SSP core: ships `excess` to zero over the current residual
+  // network, starting from valid potentials `pi`.  Returns false when some
+  // excess cannot be routed (infeasible).
+  [[nodiscard]] bool ship(std::vector<std::int64_t>& excess,
+                          std::vector<std::int64_t>& pi);
+
+  [[nodiscard]] std::optional<Solution> finish_solution(
+      std::vector<std::int64_t> pi);
 };
 
 }  // namespace lac::graph

@@ -56,6 +56,13 @@ void add_entry(DiffResult& res, DiffEntry::Kind kind, std::string name,
                          std::move(note)});
 }
 
+bool ignored(std::string_view name, const DiffOptions& opts) {
+  for (const std::string& p : opts.ignore_prefixes)
+    if (name.size() >= p.size() && name.compare(0, p.size(), p) == 0)
+      return true;
+  return false;
+}
+
 Verdict timing_verdict(double base, double cur, const DiffOptions& opts,
                        std::string& note) {
   double rel;
@@ -113,6 +120,7 @@ DiffResult diff_reports(const json::Value& baseline,
     const auto base = number_map(baseline, "counters");
     const auto cur = number_map(current, "counters");
     for (const auto& [name, bv] : base) {
+      if (ignored(name, opts)) continue;
       const auto it = cur.find(name);
       if (it == cur.end()) {
         add_entry(res, DiffEntry::Kind::kCounter, name, bv, 0.0,
@@ -126,7 +134,7 @@ DiffResult diff_reports(const json::Value& baseline,
       }
     }
     for (const auto& [name, cv] : cur)
-      if (base.find(name) == base.end())
+      if (base.find(name) == base.end() && !ignored(name, opts))
         add_entry(res, DiffEntry::Kind::kCounter, name, 0.0, cv,
                   Verdict::kRegress,
                   "counter not in baseline (regenerate the baseline?)");
@@ -138,6 +146,7 @@ DiffResult diff_reports(const json::Value& baseline,
     const auto base = number_map(baseline, "gauges");
     const auto cur = number_map(current, "gauges");
     for (const auto& [name, bv] : base) {
+      if (ignored(name, opts)) continue;
       const auto it = cur.find(name);
       if (is_timing_name(name)) {
         if (it == cur.end()) continue;  // stripped side: nothing to diff
@@ -160,7 +169,8 @@ DiffResult diff_reports(const json::Value& baseline,
       }
     }
     for (const auto& [name, cv] : cur)
-      if (base.find(name) == base.end() && !is_timing_name(name))
+      if (base.find(name) == base.end() && !is_timing_name(name) &&
+          !ignored(name, opts))
         add_entry(res, DiffEntry::Kind::kGauge, name, 0.0, cv,
                   Verdict::kRegress,
                   "gauge not in baseline (regenerate the baseline?)");
@@ -180,6 +190,7 @@ DiffResult diff_reports(const json::Value& baseline,
       return true;
     };
     for (const auto& [name, bh] : base) {
+      if (ignored(name, opts)) continue;
       const auto it = cur.find(name);
       if (it == cur.end()) {
         add_entry(res, DiffEntry::Kind::kHistogram, name, 0.0, 0.0,
@@ -213,7 +224,7 @@ DiffResult diff_reports(const json::Value& baseline,
       }
     }
     for (const auto& [name, ch] : cur)
-      if (base.find(name) == base.end())
+      if (base.find(name) == base.end() && !ignored(name, opts))
         add_entry(res, DiffEntry::Kind::kHistogram, name, 0.0, 0.0,
                   Verdict::kRegress,
                   "histogram not in baseline (regenerate the baseline?)");
@@ -231,6 +242,7 @@ DiffResult diff_reports(const json::Value& baseline,
     const bool both_timed =
         report_has_times(baseline) && report_has_times(current);
     for (const auto& [name, bs] : base) {
+      if (ignored(name, opts)) continue;
       const auto it = cur.find(name);
       if (it == cur.end()) {
         add_entry(res, DiffEntry::Kind::kSpanCount, name,
@@ -258,7 +270,7 @@ DiffResult diff_reports(const json::Value& baseline,
       }
     }
     for (const auto& [name, cs] : cur)
-      if (base.find(name) == base.end())
+      if (base.find(name) == base.end() && !ignored(name, opts))
         add_entry(res, DiffEntry::Kind::kSpanCount, name, 0.0,
                   static_cast<double>(cs.count), Verdict::kRegress,
                   "span not in baseline (regenerate the baseline?)");

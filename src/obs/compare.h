@@ -38,6 +38,13 @@ struct DiffOptions {
   bool timings_warn_only = false;
   // Timing deltas where both sides are below this are ignored entirely.
   double min_seconds = 1e-3;
+  // Names (counters, gauges, histograms, spans) starting with any of these
+  // prefixes are skipped entirely.  Used to compare runs of *different*
+  // configurations of the same pipeline: `--ignore mcf.` checks that two
+  // modes agree on every lac.* quality counter and the span structure
+  // while exempting solver-effort metrics that legitimately differ (a
+  // warm-started solve does fewer augmentations than a cold one).
+  std::vector<std::string> ignore_prefixes;
 };
 
 struct DiffEntry {

@@ -1,23 +1,56 @@
 #include "retime/lac_retimer.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "base/check.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "retime/min_area.h"
+#include "retime/weighted_min_area_solver.h"
 
 namespace lac::retime {
 
+namespace {
+// Every option is validated before any work happens; a bad option used to
+// surface as an unrelated internal check much later (e.g. max_rounds <= 0
+// skipped the loop entirely and tripped LAC_CHECK(have_best)).
+void validate_options(const LacOptions& opt) {
+  LAC_CHECK_MSG(opt.alpha >= 0.0 && opt.alpha <= 1.0,
+                "LacOptions::alpha must be in [0, 1], got " << opt.alpha);
+  LAC_CHECK_MSG(opt.n_max >= 1,
+                "LacOptions::n_max must be >= 1, got " << opt.n_max);
+  LAC_CHECK_MSG(opt.max_rounds >= 1,
+                "LacOptions::max_rounds must be >= 1, got " << opt.max_rounds);
+  LAC_CHECK_MSG(opt.ff_area > 0.0,
+                "LacOptions::ff_area must be > 0, got " << opt.ff_area);
+  LAC_CHECK_MSG(opt.full_tile_ratio >= 1.0,
+                "LacOptions::full_tile_ratio must be >= 1, got "
+                    << opt.full_tile_ratio);
+  LAC_CHECK_MSG(opt.weight_min > 0.0,
+                "LacOptions::weight_min must be > 0, got " << opt.weight_min);
+  LAC_CHECK_MSG(opt.weight_min <= opt.weight_max,
+                "LacOptions::weight_min (" << opt.weight_min
+                    << ") must be <= weight_max (" << opt.weight_max << ")");
+}
+}  // namespace
+
 LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
                        const ConstraintSet& cs, const LacOptions& opt) {
-  LAC_CHECK(opt.alpha >= 0.0 && opt.alpha <= 1.0);
-  LAC_CHECK(opt.n_max >= 1);
+  validate_options(opt);
 
   obs::Span lac_span("lac.retiming");
   lac_span.annotate("vertices", g.num_vertices());
   lac_span.annotate("tiles", grid.num_tiles());
   lac_span.annotate("alpha", opt.alpha);
+  lac_span.annotate("incremental", opt.incremental);
+
+  // One solver session for the whole call: the flow network is built once
+  // and rounds >= 2 warm-start from the previous round's flow.  The cold
+  // path (a fresh network + solve per round) is kept for A/B comparison;
+  // both produce bit-identical retimings every round.
+  std::optional<WeightedMinAreaSolver> session;
+  if (opt.incremental) session.emplace(g, cs);
 
   LacResult best;
   bool have_best = false;
@@ -53,7 +86,10 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
     }
 
     MinAreaStats solve_stats;
-    const auto r = weighted_min_area_retiming(g, cs, area_weight, &solve_stats);
+    const auto r =
+        opt.incremental
+            ? session->solve(area_weight, &solve_stats)
+            : weighted_min_area_retiming(g, cs, area_weight, &solve_stats);
     LAC_CHECK_MSG(r.has_value(), "LAC-retiming called with infeasible period");
     AreaReport rep = place_flipflops(g, grid, *r, opt.ff_area);
     const int n_wr_so_far = round + 1;
@@ -78,6 +114,8 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
     rs.max_overflow = rep.worst_overflow;
     rs.improved = improved;
     rs.augmentations = solve_stats.augmentations;
+    rs.warm = solve_stats.warm;
+    rs.repaired_arcs = solve_stats.repaired_arcs;
     rs.solve_seconds = round_span.elapsed_seconds();
     round_span.annotate("round", rs.round);
     round_span.annotate("n_foa", rs.n_foa);
@@ -87,6 +125,7 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
     round_span.annotate("weight_lo", rs.weight_lo);
     round_span.annotate("weight_hi", rs.weight_hi);
     round_span.annotate("improved", rs.improved);
+    round_span.annotate("warm", rs.warm);
     obs::count("lac.rounds");
     obs::observe("lac.round_seconds", rs.solve_seconds);
     obs::observe("lac.round_n_foa", static_cast<double>(rs.n_foa));

@@ -36,6 +36,13 @@ struct LacOptions {
   double full_tile_ratio = 8.0;
   double weight_min = 1e-3;
   double weight_max = 1e6;
+  // Reuse one WeightedMinAreaSolver session across rounds: the flow
+  // network is built once per lac_retiming call and every round after the
+  // first warm-starts from the previous round's min-cost flow (see
+  // docs/INCREMENTAL_MCF.md).  Results are bit-identical to the cold
+  // per-round path, which is kept (set false) for A/B comparison and the
+  // cold-vs-warm bench.
+  bool incremental = true;
 };
 
 // Convergence record of one round of the adaptive re-weighting loop (one
@@ -51,6 +58,8 @@ struct LacRoundStats {
   double weight_hi = 1.0;
   bool improved = false;        // did this round improve the best solution
   int augmentations = 0;        // min-cost-flow augmentations of the solve
+  bool warm = false;            // solve warm-started from the previous round
+  int repaired_arcs = 0;        // residual arcs repaired by the warm solve
   double solve_seconds = 0.0;   // wall time of solve + placement
 };
 

@@ -1,91 +1,15 @@
 #include "retime/min_area.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "base/check.h"
-#include "graph/min_cost_flow.h"
-#include "obs/span.h"
+#include "retime/weighted_min_area_solver.h"
 
 namespace lac::retime {
-
-namespace {
-// Integer grid for quantised area weights.  The largest weight maps to
-// kWeightGrid; anything positive maps to at least 1.
-constexpr double kWeightGrid = 1 << 14;
-}  // namespace
 
 std::optional<std::vector<int>> weighted_min_area_retiming(
     const RetimingGraph& g, const ConstraintSet& cs,
     const std::vector<double>& area_weight, MinAreaStats* stats) {
-  const int n = g.num_vertices();
-  LAC_CHECK(cs.num_vars == n);
-  LAC_CHECK(static_cast<int>(area_weight.size()) == n);
-
-  obs::Span span("retime.weighted_min_area");
-  span.annotate("vertices", n);
-  span.annotate("constraints", cs.total());
-
-  double max_w = 0.0;
-  for (int v = 0; v < n; ++v) {
-    if (v == g.host()) continue;
-    LAC_CHECK_MSG(area_weight[static_cast<std::size_t>(v)] > 0.0,
-                  "area weight of vertex " << v << " must be positive");
-    max_w = std::max(max_w, area_weight[static_cast<std::size_t>(v)]);
-  }
-  LAC_CHECK(max_w > 0.0);
-  std::vector<std::int64_t> ai(static_cast<std::size_t>(n), 0);
-  for (int v = 0; v < n; ++v) {
-    if (v == g.host()) continue;
-    ai[static_cast<std::size_t>(v)] = std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(std::llround(
-               area_weight[static_cast<std::size_t>(v)] / max_w * kWeightGrid)));
-  }
-
-  // Supplies: supply(v) = fo(v) − fi(v) (see header derivation).
-  graph::MinCostFlow mcf(n);
-  for (const auto& e : g.edges()) {
-    mcf.add_supply(e.tail, ai[static_cast<std::size_t>(e.tail)]);   // fo
-    mcf.add_supply(e.head, -ai[static_cast<std::size_t>(e.tail)]);  // fi
-  }
-
-  // One arc per constraint r(u) − r(v) ≤ c:  u -> v, cost c, cap ∞.
-  cs.for_each([&](const Constraint& c) {
-    mcf.add_arc(c.u, c.v, graph::MinCostFlow::kInfCap, c.c);
-  });
-  // Bounding/connectivity arcs through the host.  K must exceed any label
-  // magnitude an optimal basic solution can need; |r(v)| is bounded by
-  // (#vars) · (largest |constraint constant|) for shortest-path-derived
-  // solutions, so this K keeps the box constraints slack at some optimum.
-  std::int64_t max_c = 1;
-  cs.for_each([&](const Constraint& c) {
-    max_c = std::max<std::int64_t>(max_c, std::abs(static_cast<std::int64_t>(c.c)));
-  });
-  const std::int64_t big_k = static_cast<std::int64_t>(n + 1) * (max_c + 1);
-  for (int v = 0; v < n; ++v) {
-    if (v == g.host()) continue;
-    mcf.add_arc(v, g.host(), graph::MinCostFlow::kInfCap, big_k);
-    mcf.add_arc(g.host(), v, graph::MinCostFlow::kInfCap, big_k);
-  }
-
-  const auto sol = mcf.solve();
-  span.annotate("feasible", sol.has_value());
-  span.annotate("augmentations", mcf.stats().augmentations);
-  if (!sol) return std::nullopt;  // negative cycle <=> constraints infeasible
-
-  std::vector<int> r(static_cast<std::size_t>(n));
-  const std::int64_t base = sol->potential[static_cast<std::size_t>(g.host())];
-  for (int v = 0; v < n; ++v)
-    r[static_cast<std::size_t>(v)] =
-        static_cast<int>(base - sol->potential[static_cast<std::size_t>(v)]);
-
-  LAC_CHECK_MSG(g.is_legal_retiming(r),
-                "min-cost-flow produced an illegal retiming");
-  if (stats != nullptr) {
-    stats->objective = weighted_ff_area(g, r, area_weight);
-    stats->augmentations = mcf.stats().augmentations;
-  }
-  return r;
+  // A fresh one-round session: builds the flow network and solves cold.
+  WeightedMinAreaSolver solver(g, cs);
+  return solver.solve(area_weight, stats);
 }
 
 std::optional<std::vector<int>> min_area_retiming(const RetimingGraph& g,

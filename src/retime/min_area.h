@@ -24,6 +24,7 @@
 // only perturbs the objective's tie-breaking, never feasibility.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -34,13 +35,22 @@ namespace lac::retime {
 
 struct MinAreaStats {
   double objective = 0.0;  // Σ A(tail(e)) · w_r(e), the weighted FF area
+  // Exact optimum of the quantised flow objective (int64, never narrowed);
+  // warm and cold solves of the same instance agree on it bit for bit.
+  std::int64_t flow_cost_exact = 0;
   int augmentations = 0;   // min-cost-flow augmenting phases of the solve
+  bool warm = false;       // solve warm-started from a previous round's flow
+  int repaired_arcs = 0;   // residual arcs cancel-and-rerouted by the solve
 };
 
 // Solves weighted min-area retiming for the given constraint system.
 // `area_weight[v]` must be > 0 for every non-host vertex.  Returns the
 // optimal retiming labels normalised to r[host] = 0, or nullopt if the
-// constraints are infeasible.
+// constraints are infeasible.  One-shot convenience over
+// WeightedMinAreaSolver (weighted_min_area_solver.h) — a loop that
+// re-solves with changing weights should hold a solver session instead,
+// which warm-starts every round after the first and returns bit-identical
+// retimings to this function.
 [[nodiscard]] std::optional<std::vector<int>> weighted_min_area_retiming(
     const RetimingGraph& g, const ConstraintSet& cs,
     const std::vector<double>& area_weight, MinAreaStats* stats = nullptr);

@@ -1,0 +1,61 @@
+// Session object for repeated weighted min-area retiming solves over one
+// constraint system — the engine of the LAC loop's inner iteration.
+//
+// The LAC heuristic is "a series of weighted min-area retiming problems"
+// that differ only in the per-vertex area weights; the constraint system
+// (and therefore the whole flow network: arcs, costs) is fixed for the
+// duration of one lac_retiming call.  This class builds the
+// retiming-graph→flow-network mapping once and re-solves per round with
+// only the supply vector updated (the quantised weights enter the
+// transshipment problem as node supplies, see retime/min_area.h for the
+// reduction).  Round 1 solves cold; every later round warm-starts from
+// the previous round's flow and potentials and ships only the supply
+// delta (graph::MinCostFlow::resolve()).
+//
+// Exactness: every round returns an exact optimum, and the returned
+// retiming is *canonical* — labels are derived from residual shortest
+// distances from the host, which are identical for every optimal flow of
+// the instance (see MinCostFlow::residual_distances_from).  A session
+// therefore returns bit-identical retimings to a fresh cold
+// weighted_min_area_retiming() call on every round, which is what lets
+// LacOptions::incremental default to on without perturbing results.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/min_cost_flow.h"
+#include "retime/constraints.h"
+#include "retime/min_area.h"
+#include "retime/retiming_graph.h"
+
+namespace lac::retime {
+
+class WeightedMinAreaSolver {
+ public:
+  // Builds the flow network (one arc per constraint plus the host
+  // bounding arcs) once.  `g` and `cs` must outlive the solver.
+  WeightedMinAreaSolver(const RetimingGraph& g, const ConstraintSet& cs);
+
+  // Solves weighted min-area retiming for the given weights
+  // (`area_weight[v]` > 0 for every non-host vertex).  Returns the optimal
+  // retiming normalised to r[host] = 0, or nullopt if the constraints are
+  // infeasible.  The first call per session solves cold; later calls
+  // warm-start from the previous round's optimum.
+  [[nodiscard]] std::optional<std::vector<int>> solve(
+      const std::vector<double>& area_weight, MinAreaStats* stats = nullptr);
+
+  // Number of solve() calls served so far.
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+ private:
+  const RetimingGraph& g_;
+  const ConstraintSet& cs_;
+  graph::MinCostFlow mcf_;
+  std::vector<std::int64_t> ai_;      // quantised weights (scratch)
+  std::vector<std::int64_t> supply_;  // per-node supplies (scratch)
+  int rounds_ = 0;
+};
+
+}  // namespace lac::retime

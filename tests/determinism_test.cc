@@ -38,7 +38,7 @@ struct Snapshot {
   std::string report;  // serialized, time-stripped
 };
 
-Snapshot run_plan(const char* circuit, int threads) {
+Snapshot run_plan(const char* circuit, int threads, bool incremental = true) {
   const auto& entry = bench89::entry_by_name(circuit);
   const auto nl = bench89::load(entry);
   obs::ScopedEnable on(true);
@@ -49,6 +49,7 @@ Snapshot run_plan(const char* circuit, int threads) {
   cfg.run.seed = 7;
   cfg.run.exec.threads = threads;
   cfg.num_blocks = entry.recommended_blocks;
+  cfg.lac_opt.incremental = incremental;
   const InterconnectPlanner planner(cfg);
 
   Snapshot snap{planner.plan(nl),
@@ -57,13 +58,7 @@ Snapshot run_plan(const char* circuit, int threads) {
   return snap;
 }
 
-void expect_identical(const Snapshot& a, const Snapshot& b,
-                      const char* circuit, int threads) {
-  SCOPED_TRACE(std::string(circuit) + " @ " + std::to_string(threads) +
-               " threads");
-  const PlanResult& x = a.res;
-  const PlanResult& y = b.res;
-
+void expect_identical_results(const PlanResult& x, const PlanResult& y) {
   // Timing landmarks and constraint counts, bit-exact.
   EXPECT_EQ(x.t_init_ps, y.t_init_ps);
   EXPECT_EQ(x.t_min_ps, y.t_min_ps);
@@ -93,6 +88,23 @@ void expect_identical(const Snapshot& a, const Snapshot& b,
   EXPECT_EQ(x.lac.report.ac, y.lac.report.ac);
   EXPECT_EQ(x.lac.n_wr, y.lac.n_wr);
 
+  // Per-round LAC quality trajectory (effort fields — augmentations,
+  // warm, times — are allowed to differ between solver modes).
+  ASSERT_EQ(x.lac.rounds.size(), y.lac.rounds.size());
+  for (std::size_t i = 0; i < x.lac.rounds.size(); ++i) {
+    EXPECT_EQ(x.lac.rounds[i].n_foa, y.lac.rounds[i].n_foa);
+    EXPECT_EQ(x.lac.rounds[i].n_f, y.lac.rounds[i].n_f);
+    EXPECT_EQ(x.lac.rounds[i].best_n_foa, y.lac.rounds[i].best_n_foa);
+    EXPECT_EQ(x.lac.rounds[i].improved, y.lac.rounds[i].improved);
+  }
+}
+
+void expect_identical(const Snapshot& a, const Snapshot& b,
+                      const char* circuit, int threads) {
+  SCOPED_TRACE(std::string(circuit) + " @ " + std::to_string(threads) +
+               " threads");
+  expect_identical_results(a.res, b.res);
+
   // The whole observability record — span tree shape, annotations,
   // counters, histogram counts — byte-identical once times are stripped.
   EXPECT_EQ(a.report, b.report);
@@ -107,6 +119,22 @@ TEST_P(Determinism, IdenticalAcrossThreadCounts) {
   for (const int w : {2, 8}) {
     const Snapshot got = run_plan(circuit, w);
     expect_identical(base, got, circuit, w);
+  }
+}
+
+// The warm-started incremental LAC solver (the pipeline default, first
+// plan) must produce the same planning result as cold per-round re-solves
+// — at any thread count.  Only PlanResult fields are compared: the obs
+// reports legitimately differ in mcf.* solver-effort counters (the CI
+// cross-mode gate diffs them with --ignore mcf.).
+TEST_P(Determinism, WarmSolverMatchesColdSolver) {
+  const char* circuit = GetParam();
+  const Snapshot warm = run_plan(circuit, 1, /*incremental=*/true);
+  for (const int w : {1, 4}) {
+    SCOPED_TRACE(std::string(circuit) + " cold @ " + std::to_string(w) +
+                 " threads");
+    const Snapshot cold = run_plan(circuit, w, /*incremental=*/false);
+    expect_identical_results(warm.res, cold.res);
   }
 }
 

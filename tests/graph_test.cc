@@ -257,5 +257,193 @@ TEST(MinCostFlow, PotentialsSatisfyReducedCostOptimality) {
   }
 }
 
+// Regression: solve() used to consume residual capacities without
+// restoring them, so a second solve() on the same instance saw a
+// saturated network and returned garbage (or infeasible).  solve() is
+// now idempotent.
+TEST(MinCostFlow, SolveTwiceReturnsIdenticalSolution) {
+  MinCostFlow mcf(3);
+  mcf.add_arc(0, 2, 3, 1);
+  mcf.add_arc(0, 1, 10, 2);
+  mcf.add_arc(1, 2, 10, 2);
+  mcf.set_supply(0, 5);
+  mcf.set_supply(2, -5);
+  const auto first = mcf.solve();
+  ASSERT_TRUE(first.has_value());
+  const auto second = mcf.solve();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->total_cost_exact, second->total_cost_exact);
+  EXPECT_EQ(first->flow, second->flow);
+  EXPECT_EQ(first->potential, second->potential);
+}
+
+TEST(MinCostFlow, ExactCostIsIntegerAndMatchesDouble) {
+  MinCostFlow mcf(2);
+  mcf.add_arc(0, 1, 10, 3);
+  mcf.set_supply(0, 4);
+  mcf.set_supply(1, -4);
+  const auto sol = mcf.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->total_cost_exact, 12);
+  EXPECT_DOUBLE_EQ(sol->total_cost,
+                   static_cast<double>(sol->total_cost_exact));
+}
+
+namespace {
+
+// One host-connected random instance materialised into any number of
+// MinCostFlow objects, so a warm trajectory can be compared against a
+// cold solve of the same final state.
+struct RandomInstance {
+  struct ArcRec { int u, v; std::int64_t cap, cost; };
+  int n = 0;
+  std::vector<ArcRec> arcs;
+  std::vector<std::int64_t> supply;
+
+  static RandomInstance make(Rng& rng) {
+    RandomInstance ins;
+    ins.n = 3 + static_cast<int>(rng.uniform(5));
+    for (int k = 0; k < 3 * ins.n; ++k) {
+      const int u = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(ins.n)));
+      const int v = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(ins.n)));
+      if (u == v) continue;
+      ins.arcs.push_back({u, v, 1 + static_cast<std::int64_t>(rng.uniform(9)),
+                          rng.uniform_int(0, 9)});
+    }
+    for (int v = 1; v < ins.n; ++v) {
+      ins.arcs.push_back({v, 0, MinCostFlow::kInfCap, 50});
+      ins.arcs.push_back({0, v, MinCostFlow::kInfCap, 50});
+    }
+    ins.supply.assign(static_cast<std::size_t>(ins.n), 0);
+    ins.randomize_supplies(rng);
+    return ins;
+  }
+
+  void randomize_supplies(Rng& rng) {
+    std::int64_t total = 0;
+    for (int v = 1; v < n; ++v) {
+      supply[static_cast<std::size_t>(v)] = rng.uniform_int(-5, 5);
+      total += supply[static_cast<std::size_t>(v)];
+    }
+    supply[0] = -total;
+  }
+
+  [[nodiscard]] MinCostFlow build() const {
+    MinCostFlow mcf(n);
+    for (const ArcRec& a : arcs) mcf.add_arc(a.u, a.v, a.cap, a.cost);
+    for (int v = 0; v < n; ++v)
+      mcf.set_supply(v, supply[static_cast<std::size_t>(v)]);
+    return mcf;
+  }
+
+  // Optimality certificate for `sol` on this instance: conservation plus
+  // complementary slackness against the returned potentials.
+  void check_optimal(const MinCostFlow::Solution& sol) const {
+    std::vector<std::int64_t> net(static_cast<std::size_t>(n), 0);
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      const ArcRec& a = arcs[i];
+      const std::int64_t f = sol.flow[i];
+      ASSERT_GE(f, 0);
+      ASSERT_LE(f, a.cap);
+      net[static_cast<std::size_t>(a.u)] += f;
+      net[static_cast<std::size_t>(a.v)] -= f;
+      const std::int64_t rc = a.cost + sol.potential[static_cast<std::size_t>(a.u)] -
+                              sol.potential[static_cast<std::size_t>(a.v)];
+      if (f < a.cap) EXPECT_GE(rc, 0) << "arc " << a.u << "->" << a.v;
+      if (f > 0) EXPECT_LE(rc, 0) << "arc " << a.u << "->" << a.v;
+    }
+    for (int v = 0; v < n; ++v)
+      EXPECT_EQ(net[static_cast<std::size_t>(v)],
+                supply[static_cast<std::size_t>(v)]) << "node " << v;
+  }
+};
+
+}  // namespace
+
+// Warm resolve() after supply changes must land on an exact optimum of
+// the new instance — same objective as a cold solve, with a full
+// optimality certificate — across many random instances and several
+// consecutive supply updates per instance.
+TEST(MinCostFlow, ResolveAfterSupplyChangesMatchesColdSolve) {
+  Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomInstance ins = RandomInstance::make(rng);
+    MinCostFlow warm = ins.build();
+    ASSERT_TRUE(warm.solve().has_value());
+    for (int round = 0; round < 4; ++round) {
+      ins.randomize_supplies(rng);
+      for (int v = 0; v < ins.n; ++v)
+        warm.set_supply(v, ins.supply[static_cast<std::size_t>(v)]);
+      const auto ws = warm.resolve();
+      ASSERT_TRUE(ws.has_value());
+      EXPECT_TRUE(warm.stats().warm);
+
+      MinCostFlow cold = ins.build();
+      const auto cs = cold.solve();
+      ASSERT_TRUE(cs.has_value());
+      EXPECT_EQ(ws->total_cost_exact, cs->total_cost_exact)
+          << "trial " << trial << " round " << round;
+      ins.check_optimal(*ws);
+    }
+  }
+}
+
+// Warm resolve() after update_arc_cost must repair reduced-cost
+// violations (cancel-and-reroute) and still land on an exact optimum of
+// the re-costed instance.
+TEST(MinCostFlow, ResolveAfterCostUpdatesMatchesColdSolve) {
+  Rng rng(202);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomInstance ins = RandomInstance::make(rng);
+    MinCostFlow warm = ins.build();
+    ASSERT_TRUE(warm.solve().has_value());
+    for (int round = 0; round < 4; ++round) {
+      // Re-cost a few random finite-capacity arcs (the host arcs keep
+      // their big cost so feasibility is preserved).
+      for (int k = 0; k < 3; ++k) {
+        const std::size_t i = static_cast<std::size_t>(
+            rng.uniform(static_cast<std::uint64_t>(ins.arcs.size())));
+        if (ins.arcs[i].cap == MinCostFlow::kInfCap) continue;
+        ins.arcs[i].cost = rng.uniform_int(0, 9);
+        warm.update_arc_cost(static_cast<int>(i), ins.arcs[i].cost);
+      }
+      const auto ws = warm.resolve();
+      ASSERT_TRUE(ws.has_value());
+
+      MinCostFlow cold = ins.build();
+      const auto cs = cold.solve();
+      ASSERT_TRUE(cs.has_value());
+      EXPECT_EQ(ws->total_cost_exact, cs->total_cost_exact)
+          << "trial " << trial << " round " << round;
+      ins.check_optimal(*ws);
+    }
+  }
+}
+
+// residual_distances_from returns shortest distances over the optimal
+// residual network: 0 at the root, and every residual arc relaxed.
+TEST(MinCostFlow, ResidualDistancesAreShortest) {
+  Rng rng(303);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RandomInstance ins = RandomInstance::make(rng);
+    MinCostFlow mcf = ins.build();
+    const auto sol = mcf.solve();
+    ASSERT_TRUE(sol.has_value());
+    const auto d = mcf.residual_distances_from(0);
+    ASSERT_EQ(static_cast<int>(d.size()), ins.n);
+    EXPECT_EQ(d[0], 0);
+    for (std::size_t i = 0; i < ins.arcs.size(); ++i) {
+      const auto& a = ins.arcs[i];
+      const auto du = d[static_cast<std::size_t>(a.u)];
+      const auto dv = d[static_cast<std::size_t>(a.v)];
+      // Forward residual arc exists iff flow < cap; backward iff flow > 0.
+      if (sol->flow[i] < a.cap && du != MinCostFlow::kUnreachable)
+        EXPECT_LE(dv, du + a.cost);
+      if (sol->flow[i] > 0 && dv != MinCostFlow::kUnreachable)
+        EXPECT_LE(du, dv - a.cost);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lac::graph

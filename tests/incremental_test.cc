@@ -1,0 +1,120 @@
+// Property tests for the warm-started weighted min-area solver session
+// (retime/weighted_min_area_solver.h): on random retiming graphs with
+// randomized per-round weight sequences, every round of a session must
+// reproduce — bit for bit — what a fresh cold solve of the same weighted
+// instance returns.  This is the equivalence contract that lets
+// LacOptions::incremental default to on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "retime/constraints.h"
+#include "retime/min_area.h"
+#include "retime/wd_matrices.h"
+#include "retime/weighted_min_area_solver.h"
+#include "tests/test_util.h"
+
+namespace lac::retime {
+namespace {
+
+std::vector<double> random_weights(Rng& rng, int n) {
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (double& x : w)
+    x = 0.05 + 0.1 * static_cast<double>(rng.uniform(2000));  // [0.05, 200)
+  return w;
+}
+
+TEST(IncrementalSolver, SessionMatchesColdSolveEveryRound) {
+  Rng rng(4242);
+  int warm_rounds_seen = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const int n = 8 + static_cast<int>(rng.uniform(20));
+    const auto g = test::random_retiming_graph(rng, n, 2 * n, 2);
+    const auto wd = WdMatrices::compute(g);
+    // A mid-range feasible period keeps the constraint system non-trivial.
+    const auto t =
+        (wd.max_vertex_delay_decips() + to_decips(wd.t_init_ps())) / 2;
+    const auto cs = build_constraints(g, wd, t);
+
+    WeightedMinAreaSolver session(g, cs);
+    for (int round = 0; round < 6; ++round) {
+      const auto weights = random_weights(rng, g.num_vertices());
+
+      MinAreaStats warm_stats;
+      const auto warm = session.solve(weights, &warm_stats);
+      MinAreaStats cold_stats;
+      const auto cold = weighted_min_area_retiming(g, cs, weights, &cold_stats);
+
+      ASSERT_EQ(warm.has_value(), cold.has_value());
+      if (!warm) continue;
+      EXPECT_EQ(*warm, *cold) << "trial " << trial << " round " << round;
+      EXPECT_EQ(warm_stats.flow_cost_exact, cold_stats.flow_cost_exact)
+          << "trial " << trial << " round " << round;
+      EXPECT_DOUBLE_EQ(warm_stats.objective, cold_stats.objective);
+      EXPECT_FALSE(cold_stats.warm);
+      if (round > 0) {
+        EXPECT_TRUE(warm_stats.warm);
+        ++warm_rounds_seen;
+      }
+    }
+  }
+  // The property above is vacuous if the warm path never engaged.
+  EXPECT_GT(warm_rounds_seen, 0);
+}
+
+// Repeating the exact same weights must be a no-op round: the warm solve
+// re-ships nothing and returns the identical retiming.
+TEST(IncrementalSolver, RepeatedWeightsAreStable) {
+  Rng rng(99);
+  const auto g = test::random_retiming_graph(rng, 16, 32, 2);
+  const auto wd = WdMatrices::compute(g);
+  const auto t =
+      (wd.max_vertex_delay_decips() + to_decips(wd.t_init_ps())) / 2;
+  const auto cs = build_constraints(g, wd, t);
+
+  WeightedMinAreaSolver session(g, cs);
+  const auto weights = random_weights(rng, g.num_vertices());
+  const auto first = session.solve(weights);
+  ASSERT_TRUE(first.has_value());
+  for (int round = 0; round < 3; ++round) {
+    MinAreaStats stats;
+    const auto again = session.solve(weights, &stats);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *first);
+    EXPECT_TRUE(stats.warm);
+    EXPECT_EQ(stats.augmentations, 0) << "identical supplies re-shipped";
+  }
+}
+
+// Tiny graphs against the brute-force reference, solved through a session
+// with several weight vectors: the optimum objective must match brute
+// force every round (not just equal the cold solver's answer).
+TEST(IncrementalSolver, SessionMatchesBruteForceOnTinyGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto g = test::random_retiming_graph(rng, 5, 6, 2);
+    const auto wd = WdMatrices::compute(g);
+    const auto t =
+        (wd.max_vertex_delay_decips() + to_decips(wd.t_init_ps())) / 2;
+    const auto cs = build_constraints(g, wd, t);
+
+    WeightedMinAreaSolver session(g, cs);
+    for (int round = 0; round < 3; ++round) {
+      std::vector<double> weights(
+          static_cast<std::size_t>(g.num_vertices()));
+      for (double& x : weights)
+        x = 1.0 + static_cast<double>(rng.uniform(5));
+      const auto r = session.solve(weights);
+      const auto ref = test::brute_force_min_area(
+          g, from_decips(t), weights, /*bound=*/3);
+      ASSERT_EQ(r.has_value(), ref.has_value());
+      if (!r) continue;
+      EXPECT_NEAR(weighted_ff_area(g, *r, weights), *ref, 1e-9)
+          << "trial " << trial << " round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lac::retime

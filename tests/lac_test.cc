@@ -195,5 +195,88 @@ TEST(Lac, SingleRoundWhenAlreadyFits) {
   EXPECT_TRUE(lac.met_all_constraints);
 }
 
+// Every LacOptions field is validated up front with a targeted message.
+// max_rounds <= 0 in particular used to skip the round loop entirely and
+// die much later on an unrelated internal invariant.
+TEST(Lac, RejectsBadOptionsUpFront) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  const auto expect_rejected = [&](LacOptions opt) {
+    EXPECT_THROW(lac_retiming(s.g, s.grid, cs, opt), CheckError);
+  };
+
+  LacOptions opt = ff50();
+  opt.max_rounds = 0;
+  expect_rejected(opt);
+  opt = ff50();
+  opt.max_rounds = -3;
+  expect_rejected(opt);
+  opt = ff50();
+  opt.alpha = -0.1;
+  expect_rejected(opt);
+  opt = ff50();
+  opt.alpha = 1.5;
+  expect_rejected(opt);
+  opt = ff50();
+  opt.n_max = 0;
+  expect_rejected(opt);
+  opt = ff50();
+  opt.ff_area = 0.0;
+  expect_rejected(opt);
+  opt = ff50();
+  opt.full_tile_ratio = 0.5;
+  expect_rejected(opt);
+  opt = ff50();
+  opt.weight_min = 0.0;
+  expect_rejected(opt);
+  opt = ff50();
+  opt.weight_min = 10.0;
+  opt.weight_max = 1.0;
+  expect_rejected(opt);
+}
+
+TEST(Lac, BoundaryOptionsAccepted) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  LacOptions opt = ff50();
+  opt.max_rounds = 1;       // a single round is a legal budget
+  opt.alpha = 1.0;          // boundary of [0, 1]
+  opt.full_tile_ratio = 1.0;
+  opt.weight_min = opt.weight_max = 1.0;  // degenerate but consistent range
+  const auto lac = lac_retiming(s.g, s.grid, cs, opt);
+  EXPECT_EQ(lac.n_wr, 1);
+  EXPECT_EQ(lac.rounds.size(), 1u);
+}
+
+// The incremental session and the cold per-round path must be fully
+// interchangeable: same retiming, same round trajectory.
+TEST(Lac, IncrementalMatchesColdPath) {
+  auto s = make_scenario();
+  const auto wd = WdMatrices::compute(s.g);
+  const auto cs = build_constraints(s.g, wd, to_decips(10.0));
+  LacOptions opt = ff50();
+  opt.incremental = false;
+  const auto cold = lac_retiming(s.g, s.grid, cs, opt);
+  opt.incremental = true;
+  const auto warm = lac_retiming(s.g, s.grid, cs, opt);
+  EXPECT_EQ(cold.r, warm.r);
+  EXPECT_EQ(cold.n_wr, warm.n_wr);
+  EXPECT_EQ(cold.report.n_foa, warm.report.n_foa);
+  EXPECT_EQ(cold.report.n_f, warm.report.n_f);
+  ASSERT_EQ(cold.rounds.size(), warm.rounds.size());
+  for (std::size_t i = 0; i < cold.rounds.size(); ++i) {
+    EXPECT_EQ(cold.rounds[i].n_foa, warm.rounds[i].n_foa);
+    EXPECT_EQ(cold.rounds[i].n_f, warm.rounds[i].n_f);
+    EXPECT_EQ(cold.rounds[i].best_n_foa, warm.rounds[i].best_n_foa);
+    EXPECT_EQ(cold.rounds[i].improved, warm.rounds[i].improved);
+  }
+  // Rounds after the first actually use the warm path.
+  for (std::size_t i = 1; i < warm.rounds.size(); ++i)
+    EXPECT_TRUE(warm.rounds[i].warm) << "round " << i + 1;
+  for (const LacRoundStats& rs : cold.rounds) EXPECT_FALSE(rs.warm);
+}
+
 }  // namespace
 }  // namespace lac::retime

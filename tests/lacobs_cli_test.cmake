@@ -45,6 +45,10 @@ run_expect(64 ${TABLE1} --limit notanumber)
 run_expect(64 ${TABLE1} --threads -1)
 run_expect(64 ${TABLE1} --threads notanumber)
 run_expect(64 ${TABLE1} --threads)
+# --lac-incremental only accepts on|off.
+run_expect(64 ${TABLE1} --lac-incremental bogus)
+run_expect(64 ${TABLE1} --lac-incremental 1)
+run_expect(64 ${TABLE1} --lac-incremental)
 
 # diff: clean self-diff, exit 2 when a deterministic counter
 # (mcf.augmentations) was doctored — timings alone must not mask it even
@@ -52,6 +56,12 @@ run_expect(64 ${TABLE1} --threads)
 run_expect(0 ${LACOBS} diff ${BASELINE} ${BASELINE})
 run_expect(2 ${LACOBS} diff ${BASELINE} ${REGRESS})
 run_expect(2 ${LACOBS} diff ${BASELINE} ${REGRESS} --timings-warn-only)
+# --ignore exempts a prefix family (the fixtures' only regression is the
+# doctored mcf.augmentations counter); an unrelated prefix changes
+# nothing, and a missing value is a usage error.
+run_expect(0 ${LACOBS} diff ${BASELINE} ${REGRESS} --ignore mcf.)
+run_expect(2 ${LACOBS} diff ${BASELINE} ${REGRESS} --ignore lac.)
+run_expect(64 ${LACOBS} diff ${BASELINE} ${REGRESS} --ignore)
 
 # trace: writes a loadable Chrome trace-event document.
 run_expect(0 ${LACOBS} trace ${REGRESS} -o ${WORK_DIR}/trace.json)

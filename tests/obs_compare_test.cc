@@ -226,6 +226,64 @@ TEST(CompareTest, StripTimesRemovesWallClockData) {
             json::serialize(stripped));
 }
 
+// --ignore-style prefixes exempt a whole metric family from the diff, in
+// every section and in both directions (used for cross-config runs where
+// solver-effort counters legitimately differ).
+TEST(CompareTest, IgnorePrefixSkipsFamilyEverywhere) {
+  json::Value current = base_report();
+  // Doctor an mcf.* counter AND an mcf.* histogram count; add an mcf.*
+  // counter that is missing from the baseline.
+  json::Value* c = const_cast<json::Value*>(
+      current.at_path({"metrics", "counters", "mcf.augmentations"}));
+  ASSERT_NE(c, nullptr);
+  c->num = 7;
+  json::Value* h = const_cast<json::Value*>(
+      current.at_path({"metrics", "histograms", "mcf.solve_seconds", "count"}));
+  ASSERT_NE(h, nullptr);
+  h->num = 9;
+  const_cast<json::Value*>(current.at_path({"metrics", "counters"}))
+      ->object.emplace_back("mcf.warm_restarts", json::Value::of(41));
+
+  // Without the prefix the doctored values regress...
+  EXPECT_EQ(diff_reports(base_report(), current).verdict, Verdict::kRegress);
+
+  // ...with it the whole family is exempt and nothing else complains.
+  DiffOptions opts;
+  opts.ignore_prefixes.push_back("mcf.");
+  const DiffResult res = diff_reports(base_report(), current, opts);
+  EXPECT_EQ(res.verdict, Verdict::kOk);
+  for (const DiffEntry& e : res.entries)
+    EXPECT_TRUE(e.name.rfind("mcf.", 0) != 0) << e.name;
+}
+
+TEST(CompareTest, IgnorePrefixStillEnforcesOtherFamilies) {
+  json::Value current = base_report();
+  json::Value* c = const_cast<json::Value*>(
+      current.at_path({"metrics", "counters", "lac.rounds"}));
+  ASSERT_NE(c, nullptr);
+  c->num = 99;
+  DiffOptions opts;
+  opts.ignore_prefixes.push_back("mcf.");
+  const DiffResult res = diff_reports(base_report(), current, opts);
+  EXPECT_EQ(res.verdict, Verdict::kRegress);
+}
+
+TEST(CompareTest, IgnorePrefixSkipsSpans) {
+  json::Value current = base_report();
+  // Rename both solve child spans: without ignoring, that is two span
+  // regressions (one missing, one unexpected).
+  for (auto& root : const_cast<json::Value*>(current.at_path({"trace"}))->array)
+    for (auto& [k, v] : root.object)
+      if (k == "children")
+        for (auto& child : v.array)
+          for (auto& [ck, cv] : child.object)
+            if (ck == "name") cv.str = "solve_warm";
+  EXPECT_EQ(diff_reports(base_report(), current).verdict, Verdict::kRegress);
+  DiffOptions opts;
+  opts.ignore_prefixes.push_back("solve");
+  EXPECT_EQ(diff_reports(base_report(), current, opts).verdict, Verdict::kOk);
+}
+
 TEST(CompareTest, TimingNamePredicate) {
   EXPECT_TRUE(is_timing_name("mcf.solve_seconds"));
   EXPECT_TRUE(is_timing_name("lac.round_seconds"));

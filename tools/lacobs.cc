@@ -8,6 +8,7 @@
 //       across all given reports, the critical chain, and the counters.
 //   lacobs diff <baseline.json> <report.json> [--time-tol F]
 //         [--time-fail F] [--timings-warn-only] [--min-seconds S]
+//         [--ignore PREFIX]...
 //       Diff a report against a baseline.  Exit 0 when clean, 1 on
 //       timing warnings, 2 on a regression (deterministic mismatch or a
 //       timing past the fail tier) — CI gates on the exit code.
@@ -56,9 +57,13 @@ void print_usage(std::FILE* to) {
                "across runs\n"
                "  diff <baseline.json> <report.json> [--time-tol F] "
                "[--time-fail F]\n"
-               "       [--timings-warn-only] [--min-seconds S]\n"
+               "       [--timings-warn-only] [--min-seconds S] "
+               "[--ignore PREFIX]...\n"
                "      compare against a baseline; exit 0 ok, 1 warnings, "
                "2 regression\n"
+               "      --ignore skips counters/gauges/histograms/spans whose "
+               "name starts\n"
+               "      with PREFIX (repeatable; for cross-config comparisons)\n"
                "  strip-times <report.json> [-o out.json]\n"
                "      drop wall-clock data so the report can serve as a "
                "CI baseline\n"
@@ -236,6 +241,10 @@ int cmd_diff(const std::vector<std::string>& args) {
         return usage_error("diff: " + err);
     } else if (args[i] == "--timings-warn-only") {
       opts.timings_warn_only = true;
+    } else if (args[i] == "--ignore") {
+      if (i + 1 >= args.size())
+        return usage_error("diff: --ignore needs a value");
+      opts.ignore_prefixes.push_back(args[++i]);
     } else if (!args[i].empty() && args[i][0] == '-') {
       return usage_error("diff: unknown option " + args[i]);
     } else if (baseline_path.empty()) {
