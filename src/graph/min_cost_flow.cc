@@ -107,73 +107,111 @@ std::optional<std::vector<std::int64_t>> MinCostFlow::initial_potentials() {
 
 bool MinCostFlow::ship(std::vector<std::int64_t>& excess,
                        std::vector<std::int64_t>& pi) {
-  // Dijkstra scratch space.
+  // Multi-source multi-sink tree-drain SSP (see min_cost_flow.h).  Each
+  // phase runs one Dijkstra on reduced costs seeded from every node with
+  // positive excess, settles nodes until the settled demand covers the
+  // outstanding excess, lifts the potentials, and then pushes flow to
+  // every settled demand node along its shortest-path-tree arcs — which
+  // all sit at exactly zero reduced cost after the potential update, so
+  // reduced-cost optimality is preserved push by push.
   std::vector<std::int64_t> dist(static_cast<std::size_t>(n_));
   std::vector<int> parent_arc(static_cast<std::size_t>(n_));
+  std::vector<char> settled(static_cast<std::size_t>(n_));
+  std::vector<int> settled_sinks;  // demand nodes in settlement order
+  std::vector<PhasePush> audit;
   using HeapItem = std::pair<std::int64_t, int>;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
 
-  for (int source = 0; source < n_; ++source) {
-    while (excess[static_cast<std::size_t>(source)] > 0) {
-      // Shortest path w.r.t. reduced costs from `source` to the nearest
-      // node with negative excess (a demand node).
-      std::fill(dist.begin(), dist.end(), kInfDist);
-      std::fill(parent_arc.begin(), parent_arc.end(), -1);
-      dist[static_cast<std::size_t>(source)] = 0;
-      heap.push({0, source});
-      int sink = -1;
-      std::int64_t sink_dist = kInfDist;
-      while (!heap.empty()) {
-        const auto [d, u] = heap.top();
-        heap.pop();
-        ++stats_.dijkstra_pops;
-        if (d != dist[static_cast<std::size_t>(u)]) continue;
-        if (excess[static_cast<std::size_t>(u)] < 0 && sink == -1) {
-          sink = u;
-          sink_dist = d;
-          // Keep settling: we stop expanding once the heap's best exceeds
-          // the sink distance; for simplicity settle everything reachable
-          // at distance <= sink_dist, then break out.
-        }
-        if (sink != -1 && d > sink_dist) break;
-        for (const int a : out_[static_cast<std::size_t>(u)]) {
-          if (arc_cap_[static_cast<std::size_t>(a)] <= 0) continue;
-          ++stats_.arcs_relaxed;
-          const int v = arc_to_[static_cast<std::size_t>(a)];
-          const std::int64_t rc = arc_cost_[static_cast<std::size_t>(a)] +
-                                  pi[static_cast<std::size_t>(u)] -
-                                  pi[static_cast<std::size_t>(v)];
-          LAC_CHECK_MSG(rc >= 0, "negative reduced cost " << rc);
-          const std::int64_t nd = d + rc;
-          if (nd < dist[static_cast<std::size_t>(v)]) {
-            dist[static_cast<std::size_t>(v)] = nd;
-            parent_arc[static_cast<std::size_t>(v)] = a;
-            heap.push({nd, v});
-          }
+  std::int64_t remaining = 0;  // total positive excess still to ship
+  for (int v = 0; v < n_; ++v)
+    remaining += std::max<std::int64_t>(excess[static_cast<std::size_t>(v)], 0);
+
+  while (remaining > 0) {
+    // --- Dijkstra phase over the whole excess set. ---
+    std::fill(dist.begin(), dist.end(), kInfDist);
+    std::fill(parent_arc.begin(), parent_arc.end(), -1);
+    std::fill(settled.begin(), settled.end(), 0);
+    settled_sinks.clear();
+    for (int v = 0; v < n_; ++v) {
+      if (excess[static_cast<std::size_t>(v)] <= 0) continue;
+      dist[static_cast<std::size_t>(v)] = 0;
+      heap.push({0, v});
+    }
+    std::int64_t settled_demand = 0;
+    std::int64_t frontier = 0;  // distance of the last node settled
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      ++stats_.dijkstra_pops;
+      if (d != dist[static_cast<std::size_t>(u)] ||
+          settled[static_cast<std::size_t>(u)])
+        continue;
+      settled[static_cast<std::size_t>(u)] = 1;
+      frontier = d;
+      if (excess[static_cast<std::size_t>(u)] < 0) {
+        settled_sinks.push_back(u);
+        settled_demand += -excess[static_cast<std::size_t>(u)];
+        // Enough settled demand to absorb everything still outstanding:
+        // no need to settle (or relax) any further this phase.
+        if (settled_demand >= remaining) break;
+      }
+      for (const int a : out_[static_cast<std::size_t>(u)]) {
+        if (arc_cap_[static_cast<std::size_t>(a)] <= 0) continue;
+        ++stats_.arcs_relaxed;
+        const int v = arc_to_[static_cast<std::size_t>(a)];
+        const std::int64_t rc = arc_cost_[static_cast<std::size_t>(a)] +
+                                pi[static_cast<std::size_t>(u)] -
+                                pi[static_cast<std::size_t>(v)];
+        LAC_CHECK_MSG(rc >= 0, "negative reduced cost " << rc);
+        const std::int64_t nd = d + rc;
+        if (nd < dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] = nd;
+          parent_arc[static_cast<std::size_t>(v)] = a;
+          heap.push({nd, v});
         }
       }
-      // Drain any leftover heap entries before the next iteration.
-      while (!heap.empty()) heap.pop();
+    }
+    while (!heap.empty()) heap.pop();
 
-      if (sink == -1) return false;  // cannot route: infeasible
+    if (settled_sinks.empty()) return false;  // no demand reachable
+    ++stats_.phases;
 
-      // Update potentials so reduced costs stay nonnegative.  Nodes not
-      // settled keep their potential but must not be used until re-reached;
-      // clamping with sink_dist preserves validity for settled nodes.
-      for (int v = 0; v < n_; ++v) {
-        pi[static_cast<std::size_t>(v)] +=
-            std::min(dist[static_cast<std::size_t>(v)], sink_dist);
-      }
+    // Lift potentials so reduced costs stay nonnegative: settled nodes by
+    // their exact distance, everything else by the settlement frontier
+    // (their true distance is at least `frontier`, so validity holds on
+    // every residual arc crossing the settled boundary).
+    for (int v = 0; v < n_; ++v) {
+      pi[static_cast<std::size_t>(v)] +=
+          settled[static_cast<std::size_t>(v)]
+              ? dist[static_cast<std::size_t>(v)]
+              : frontier;
+    }
 
-      // Bottleneck along the path.
-      std::int64_t push = std::min(excess[static_cast<std::size_t>(source)],
-                                   -excess[static_cast<std::size_t>(sink)]);
-      for (int v = sink; v != source;) {
-        const int a = parent_arc[static_cast<std::size_t>(v)];
+    // --- Tree drain: push to every settled demand node, in settlement
+    // order, along its shortest-path-tree arcs.  Earlier pushes may
+    // deplete a shared tree arc or a root's excess; such sinks push less
+    // (or nothing) this phase and are picked up by the next one.
+    for (const int sink : settled_sinks) {
+      std::int64_t push = -excess[static_cast<std::size_t>(sink)];
+      int source = sink;
+      while (parent_arc[static_cast<std::size_t>(source)] != -1) {
+        const int a = parent_arc[static_cast<std::size_t>(source)];
         push = std::min(push, arc_cap_[static_cast<std::size_t>(a)]);
-        v = arc_to_[static_cast<std::size_t>(a ^ 1)];
+        source = arc_to_[static_cast<std::size_t>(a ^ 1)];
       }
-      LAC_CHECK(push > 0);
+      push = std::min(push, excess[static_cast<std::size_t>(source)]);
+      if (push <= 0) continue;
+      if (phase_audit_) {
+        for (int v = sink; v != source;) {
+          const int a = parent_arc[static_cast<std::size_t>(v)];
+          const int u = arc_to_[static_cast<std::size_t>(a ^ 1)];
+          audit.push_back(
+              {a, arc_cost_[static_cast<std::size_t>(a)] +
+                      pi[static_cast<std::size_t>(u)] -
+                      pi[static_cast<std::size_t>(v)]});
+          v = u;
+        }
+      }
       for (int v = sink; v != source;) {
         const int a = parent_arc[static_cast<std::size_t>(v)];
         arc_cap_[static_cast<std::size_t>(a)] -= push;
@@ -182,8 +220,13 @@ bool MinCostFlow::ship(std::vector<std::int64_t>& excess,
       }
       excess[static_cast<std::size_t>(source)] -= push;
       excess[static_cast<std::size_t>(sink)] += push;
+      remaining -= push;
       ++stats_.augmentations;
       stats_.flow_shipped += push;
+    }
+    if (phase_audit_) {
+      phase_audit_(stats_.phases, audit);
+      audit.clear();
     }
   }
   return true;
@@ -235,6 +278,7 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
   span.annotate("warm", false);
   const auto finish = [&](bool feasible) {
     span.annotate("feasible", feasible);
+    span.annotate("phases", stats_.phases);
     span.annotate("augmentations", stats_.augmentations);
     span.annotate("dijkstra_pops", stats_.dijkstra_pops);
     span.annotate("arcs_relaxed", stats_.arcs_relaxed);
@@ -242,6 +286,7 @@ std::optional<MinCostFlow::Solution> MinCostFlow::solve() {
     span.annotate("flow_shipped", stats_.flow_shipped);
     obs::count("mcf.solves");
     if (!feasible) obs::count("mcf.infeasible_solves");
+    obs::count("mcf.phases", stats_.phases);
     obs::count("mcf.augmentations", stats_.augmentations);
     obs::count("mcf.arcs_relaxed", stats_.arcs_relaxed);
     obs::count("mcf.spfa_relaxations", stats_.spfa_relaxations);
@@ -347,6 +392,7 @@ std::optional<MinCostFlow::Solution> MinCostFlow::resolve() {
   const bool feasible = ship(excess, pi);
 
   span.annotate("feasible", feasible);
+  span.annotate("phases", stats_.phases);
   span.annotate("augmentations", stats_.augmentations);
   span.annotate("dijkstra_pops", stats_.dijkstra_pops);
   span.annotate("arcs_relaxed", stats_.arcs_relaxed);
@@ -357,6 +403,7 @@ std::optional<MinCostFlow::Solution> MinCostFlow::resolve() {
   obs::count("mcf.warm_restarts");
   obs::count("mcf.repaired_arcs", stats_.repaired_arcs);
   if (!feasible) obs::count("mcf.infeasible_solves");
+  obs::count("mcf.phases", stats_.phases);
   obs::count("mcf.augmentations", stats_.augmentations);
   obs::count("mcf.arcs_relaxed", stats_.arcs_relaxed);
   obs::count("mcf.spfa_relaxations", stats_.spfa_relaxations);

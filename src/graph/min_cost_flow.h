@@ -17,13 +17,26 @@
 //     capacities are restored first), and resolve() warm-starts from the
 //     previous optimum — see below.
 //
+// Shipping kernel (tree drain).  Flow is shipped in multi-source,
+// multi-sink SSP phases over the excess set: every phase runs one
+// Dijkstra on reduced costs seeded from *all* nodes with positive excess
+// at distance 0, settles nodes until the settled demand covers the
+// outstanding excess, lifts the potentials, and then drains flow to
+// *every* demand node settled in the phase along its shortest-path-tree
+// arcs — all of which sit at exactly zero reduced cost after the
+// potential update, so reduced-cost optimality is preserved arc by arc.
+// One phase therefore performs many augmentations; cold solves need far
+// fewer Dijkstra phases than source-by-source single-path SSP, and a
+// warm resolve() ships its (small) supply-imbalance delta in the same
+// multi-source phases, so both paths benefit (docs/INCREMENTAL_MCF.md).
+//
 // Warm-start contract (docs/INCREMENTAL_MCF.md).  After a successful
 // solve()/resolve() the instance retains its optimal flow and potentials.
 // The caller may then change supplies (set_supply/add_supply) and arc
 // costs (update_arc_cost) and call resolve():
 //   * supply changes keep reduced-cost optimality intact — only the net
-//     imbalance Δb is shipped, via Dijkstra phases on the warm residual
-//     network (no Bellman–Ford, no shipping from zero);
+//     imbalance Δb is shipped, via multi-source Dijkstra phases on the
+//     warm residual network (no Bellman–Ford, no shipping from zero);
 //   * cost changes can leave residual arcs with negative reduced cost;
 //     finite-capacity violations (which include cancelling flow pushed
 //     onto now-expensive arcs) are repaired by cancel-and-reroute:
@@ -36,13 +49,14 @@
 // Either way resolve() returns an exact optimum of the updated instance —
 // never an approximation.
 //
-// Complexity: O(#augmentations · E log V) with #augmentations ≤ V for
-// b-flows shipped greedily source-by-source; a warm resolve() pays only
-// for the imbalance actually re-shipped.  Costs/flows are int64; the
-// objective is accumulated in __int128 and exposed exactly.
+// Complexity: O(#phases · E log V) with #phases ≤ #augmentations ≤ V for
+// b-flows (each phase drains at least one settled demand node); a warm
+// resolve() pays only for the imbalance actually re-shipped.  Costs/flows
+// are int64; the objective is accumulated in __int128 and exposed exactly.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -119,7 +133,8 @@ class MinCostFlow {
   // Solver internals of the most recent solve()/resolve() call — the
   // augmentation and relaxation counts the observability layer reports.
   struct SolveStats {
-    int augmentations = 0;          // shortest-path phases that shipped flow
+    int phases = 0;                 // multi-source Dijkstra phases run
+    int augmentations = 0;          // tree-drain pushes that shipped flow
     long long dijkstra_pops = 0;    // heap extractions across all phases
     long long arcs_relaxed = 0;     // residual arcs scanned (Dijkstra phase)
     long long spfa_relaxations = 0; // Bellman–Ford (SPFA) phase relaxations
@@ -129,6 +144,20 @@ class MinCostFlow {
     int warm_fallbacks = 0;         // warm attempts that fell back to cold
   };
   [[nodiscard]] const SolveStats& stats() const { return stats_; }
+
+  // Test/debug hook: one record per flow unit path pushed by a tree-drain
+  // phase, with the arc's reduced cost measured *after* that phase's
+  // potential update (the tree-drain invariant says it is always zero).
+  struct PhasePush {
+    int arc = 0;  // residual arc index (forward arcs even, backward odd)
+    std::int64_t reduced_cost_after = 0;
+  };
+  // Called once per phase that pushed flow, with the 1-based phase number
+  // of the current solve and every residual arc pushed in that phase.
+  // Unset (the default) costs nothing; setting it is meant for tests.
+  using PhaseAuditFn =
+      std::function<void(int phase, const std::vector<PhasePush>& pushes)>;
+  void set_phase_audit(PhaseAuditFn fn) { phase_audit_ = std::move(fn); }
 
   [[nodiscard]] int num_nodes() const { return n_; }
   [[nodiscard]] int num_arcs() const { return static_cast<int>(arc_to_.size()) / 2; }
@@ -143,6 +172,7 @@ class MinCostFlow {
   std::vector<std::vector<int>> out_;   // node -> residual arc indices
   std::vector<std::int64_t> supply_;
   SolveStats stats_;
+  PhaseAuditFn phase_audit_;
 
   // Warm state: valid after a successful solve()/resolve().  `pi_` keeps
   // reduced costs nonnegative over the residual network left by the flow
@@ -156,8 +186,9 @@ class MinCostFlow {
   [[nodiscard]] std::optional<std::vector<std::int64_t>> initial_potentials();
 
   // Shared SSP core: ships `excess` to zero over the current residual
-  // network, starting from valid potentials `pi`.  Returns false when some
-  // excess cannot be routed (infeasible).
+  // network, starting from valid potentials `pi`, in multi-source
+  // multi-sink tree-drain phases (see the kernel comment at the top).
+  // Returns false when some excess cannot be routed (infeasible).
   [[nodiscard]] bool ship(std::vector<std::int64_t>& excess,
                           std::vector<std::int64_t>& pi);
 

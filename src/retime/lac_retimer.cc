@@ -113,6 +113,7 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
     rs.best_n_foa = best.report.n_foa;
     rs.max_overflow = rep.worst_overflow;
     rs.improved = improved;
+    rs.phases = solve_stats.phases;
     rs.augmentations = solve_stats.augmentations;
     rs.warm = solve_stats.warm;
     rs.repaired_arcs = solve_stats.repaired_arcs;

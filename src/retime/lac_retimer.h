@@ -57,7 +57,8 @@ struct LacRoundStats {
   double weight_lo = 1.0;       // tile-weight spread entering the round
   double weight_hi = 1.0;
   bool improved = false;        // did this round improve the best solution
-  int augmentations = 0;        // min-cost-flow augmentations of the solve
+  int phases = 0;               // min-cost-flow Dijkstra phases of the solve
+  int augmentations = 0;        // min-cost-flow tree-drain pushes of the solve
   bool warm = false;            // solve warm-started from the previous round
   int repaired_arcs = 0;        // residual arcs repaired by the warm solve
   double solve_seconds = 0.0;   // wall time of solve + placement

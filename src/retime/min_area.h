@@ -38,7 +38,8 @@ struct MinAreaStats {
   // Exact optimum of the quantised flow objective (int64, never narrowed);
   // warm and cold solves of the same instance agree on it bit for bit.
   std::int64_t flow_cost_exact = 0;
-  int augmentations = 0;   // min-cost-flow augmenting phases of the solve
+  int phases = 0;          // min-cost-flow Dijkstra phases of the solve
+  int augmentations = 0;   // min-cost-flow tree-drain pushes of the solve
   bool warm = false;       // solve warm-started from a previous round's flow
   int repaired_arcs = 0;   // residual arcs cancel-and-rerouted by the solve
 };

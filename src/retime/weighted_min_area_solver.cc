@@ -91,6 +91,7 @@ std::optional<std::vector<int>> WeightedMinAreaSolver::solve(
   // e.g. after an infeasible round).
   const auto sol = mcf_.resolve();
   span.annotate("feasible", sol.has_value());
+  span.annotate("phases", mcf_.stats().phases);
   span.annotate("augmentations", mcf_.stats().augmentations);
   if (!sol) return std::nullopt;  // negative cycle <=> constraints infeasible
 
@@ -112,6 +113,7 @@ std::optional<std::vector<int>> WeightedMinAreaSolver::solve(
   if (stats != nullptr) {
     stats->objective = weighted_ff_area(g_, r, area_weight);
     stats->flow_cost_exact = sol->total_cost_exact;
+    stats->phases = mcf_.stats().phases;
     stats->augmentations = mcf_.stats().augmentations;
     stats->warm = mcf_.stats().warm;
     stats->repaired_arcs = mcf_.stats().repaired_arcs;

@@ -4,11 +4,18 @@
 // reproduce — bit for bit — what a fresh cold solve of the same weighted
 // instance returns.  This is the equivalence contract that lets
 // LacOptions::incremental default to on.
+//
+// The second half stresses the MinCostFlow warm-start repair paths
+// directly with mixed-edit adversarial sessions — supply edit + cost edit
+// + repeated no-op resolve in one session, and a cost edit that forces
+// the documented cold fallback (negative cycle through the warm residual
+// network on an inf-cap arc) followed by a further warm round.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "base/rng.h"
+#include "graph/min_cost_flow.h"
 #include "retime/constraints.h"
 #include "retime/min_area.h"
 #include "retime/wd_matrices.h"
@@ -114,6 +121,135 @@ TEST(IncrementalSolver, SessionMatchesBruteForceOnTinyGraphs) {
           << "trial " << trial << " round " << round;
     }
   }
+}
+
+// ------------------------------------------------- MinCostFlow repair paths
+
+// A cost update that leaves an infinite-capacity arc with negative reduced
+// cost *and* closes a negative cycle through the warm residual network
+// (via the backward arcs of shipped flow) must fall back to a cold solve —
+// and the session must stay usable: the very next resolve() after a
+// further supply edit runs warm again.  This is the repair-path sequence
+// (warm_fallbacks=1, then a warm round) that the random fuzz rarely hits.
+TEST(IncrementalMcf, ColdFallbackThenFurtherWarmRound) {
+  using graph::MinCostFlow;
+  MinCostFlow mcf(2);
+  const int finite = mcf.add_arc(0, 1, 3, 0);     // carries the flow
+  const int inf = mcf.add_arc(0, 1, MinCostFlow::kInfCap, 5);  // idle
+  mcf.set_supply(0, 3);
+  mcf.set_supply(1, -3);
+  const auto first = mcf.solve();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->flow[static_cast<std::size_t>(finite)], 3);
+  EXPECT_EQ(first->total_cost_exact, 0);
+
+  // Re-cost the idle inf-cap arc negative: its reduced cost turns negative
+  // (cannot be saturated), and together with the backward arc of the flow
+  // on `finite` it forms the residual cycle 0→1→0 of cost −2.  The warm
+  // potential refit must detect it and fall back to a cold solve, which
+  // routes everything over the now-cheap arc.
+  mcf.update_arc_cost(inf, -2);
+  const auto repaired = mcf.resolve();
+  ASSERT_TRUE(repaired.has_value());
+  EXPECT_EQ(mcf.stats().warm_fallbacks, 1);
+  EXPECT_EQ(repaired->total_cost_exact, -6);
+  EXPECT_EQ(repaired->flow[static_cast<std::size_t>(inf)], 3);
+
+  // The fallback left a valid optimum behind: a further supply edit must
+  // re-solve warm (no fallback), shipping only the two-unit delta back
+  // through the residual network.
+  mcf.set_supply(0, 1);
+  mcf.set_supply(1, -1);
+  const auto warm = mcf.resolve();
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(mcf.stats().warm);
+  EXPECT_EQ(mcf.stats().warm_fallbacks, 0);
+  EXPECT_GT(mcf.stats().augmentations, 0);
+  EXPECT_EQ(warm->total_cost_exact, -2);
+  EXPECT_EQ(warm->flow[static_cast<std::size_t>(inf)], 1);
+}
+
+// Mixed-edit adversarial sessions: random interleavings of supply edits,
+// cost edits and repeated no-op resolves in one session, each round
+// checked against a cold solve of an identically edited fresh instance.
+TEST(IncrementalMcf, MixedEditAdversarialSessionsMatchColdSolve) {
+  using graph::MinCostFlow;
+  Rng rng(271828);
+  struct Arc {
+    int u, v;
+    std::int64_t cap, cost;
+  };
+  int noop_rounds = 0, repaired = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 3 + static_cast<int>(rng.uniform(6));
+    std::vector<Arc> arcs;
+    for (int k = 0; k < 3 * n; ++k) {
+      const int u = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      const int v = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(n)));
+      if (u == v) continue;
+      arcs.push_back({u, v, 1 + static_cast<std::int64_t>(rng.uniform(9)),
+                      rng.uniform_int(0, 9)});
+    }
+    for (int v = 1; v < n; ++v) {
+      arcs.push_back({v, 0, MinCostFlow::kInfCap, 50});
+      arcs.push_back({0, v, MinCostFlow::kInfCap, 50});
+    }
+    std::vector<std::int64_t> supply(static_cast<std::size_t>(n), 0);
+    const auto randomize_supplies = [&] {
+      std::int64_t total = 0;
+      for (int v = 1; v < n; ++v) {
+        supply[static_cast<std::size_t>(v)] = rng.uniform_int(-5, 5);
+        total += supply[static_cast<std::size_t>(v)];
+      }
+      supply[0] = -total;
+    };
+    const auto build = [&] {
+      MinCostFlow m(n);
+      for (const Arc& a : arcs) m.add_arc(a.u, a.v, a.cap, a.cost);
+      for (int v = 0; v < n; ++v)
+        m.set_supply(v, supply[static_cast<std::size_t>(v)]);
+      return m;
+    };
+    randomize_supplies();
+    MinCostFlow warm = build();
+    ASSERT_TRUE(warm.solve().has_value());
+
+    for (int round = 0; round < 6; ++round) {
+      const auto kind = rng.uniform(4);
+      if (kind == 0) {  // supply edit
+        randomize_supplies();
+        for (int v = 0; v < n; ++v)
+          warm.set_supply(v, supply[static_cast<std::size_t>(v)]);
+      } else if (kind == 1) {  // cost edit on a few arcs
+        for (int k = 0; k < 2; ++k) {
+          const auto i = static_cast<std::size_t>(
+              rng.uniform(static_cast<std::uint64_t>(arcs.size())));
+          if (arcs[i].cap == MinCostFlow::kInfCap) continue;
+          arcs[i].cost = rng.uniform_int(0, 9);
+          warm.update_arc_cost(static_cast<int>(i), arcs[i].cost);
+        }
+      } else {  // no-op round (possibly repeated back to back)
+        ++noop_rounds;
+      }
+      const auto ws = warm.resolve();
+      ASSERT_TRUE(ws.has_value());
+      EXPECT_TRUE(warm.stats().warm);
+      repaired += warm.stats().repaired_arcs;
+      if (kind >= 2) {
+        EXPECT_EQ(warm.stats().augmentations, 0)
+            << "a no-op resolve must ship nothing";
+        EXPECT_EQ(warm.stats().phases, 0);
+      }
+
+      MinCostFlow cold = build();
+      const auto cs = cold.solve();
+      ASSERT_TRUE(cs.has_value());
+      EXPECT_EQ(ws->total_cost_exact, cs->total_cost_exact)
+          << "trial " << trial << " round " << round;
+    }
+  }
+  EXPECT_GT(noop_rounds, 10);
+  EXPECT_GT(repaired, 0) << "cost edits never hit cancel-and-reroute";
 }
 
 }  // namespace
