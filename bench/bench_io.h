@@ -32,6 +32,10 @@ struct Cli {
   // bit-identical planning results — the flag exists for cold-vs-warm
   // solver comparisons (CI cross-mode gate, bench/incremental_mcf).
   int lac_incremental = -1;
+  // --span-cap N: root-span store capacity (RunControls::max_root_spans);
+  // 0 (flag absent) keeps the default.  Spans beyond the cap are dropped
+  // and counted in the report's dropped_root_spans.
+  long long span_cap = 0;
 
   // The parsed --threads value as an ExecPolicy (deterministic scheduling;
   // results are bitwise-identical for any thread count).
@@ -60,7 +64,13 @@ inline void print_usage(std::FILE* to, const char* tool, bool with_limit) {
                " rounds (on,\n"
                "              the default) or re-solve cold every round;"
                " results are\n"
-               "              identical either way\n",
+               "              identical either way\n"
+               "  --span-cap N\n"
+               "              retain at most N root spans in the run report;"
+               " 0 or unset\n"
+               "              keeps the default (4096); dropped spans are"
+               " counted in\n"
+               "              dropped_root_spans\n",
                tool, with_limit ? " [--limit N]" : "");
   if (with_limit)
     std::fprintf(to,
@@ -103,6 +113,21 @@ inline Cli parse_cli(int argc, char** argv, const char* tool,
       if (end == nullptr || *end != '\0' || end == argv[i] ||
           cli.threads < 0) {
         std::fprintf(stderr, "%s: bad --threads value '%s'\n", tool, argv[i]);
+        std::exit(64);
+      }
+      continue;
+    }
+    if (arg == "--span-cap") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --span-cap needs a count\n", tool);
+        std::exit(64);
+      }
+      char* end = nullptr;
+      cli.span_cap = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || end == argv[i] ||
+          cli.span_cap < 0) {
+        std::fprintf(stderr, "%s: bad --span-cap value '%s'\n", tool,
+                     argv[i]);
         std::exit(64);
       }
       continue;

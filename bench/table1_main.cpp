@@ -64,6 +64,9 @@ int main(int argc, char** argv) {
             cfg.num_blocks = suite[i].recommended_blocks;
             if (cli.lac_incremental >= 0)
               cfg.lac_opt.incremental = cli.lac_incremental != 0;
+            if (cli.span_cap > 0)
+              cfg.run.max_root_spans =
+                  static_cast<std::size_t>(cli.span_cap);
             const planner::InterconnectPlanner planner(cfg);
             // Second planning iteration (floorplan expansion) runs when
             // violations remain — the parenthesised column of the table.

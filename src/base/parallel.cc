@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/memory.h"
 #include "obs/task.h"
 
 namespace lac::base {
@@ -111,17 +112,24 @@ struct ChunkSpace {
   }
 };
 
-ChunkSpace make_chunks(const ExecPolicy& policy, std::size_t n, int workers) {
+// Auto-chunk target: enough chunks that static round-robin stays balanced
+// for any realistic worker count, few enough that per-chunk capture and
+// commit overhead stays negligible.
+constexpr std::size_t kAutoChunkTarget = 32;
+
+ChunkSpace make_chunks(const ExecPolicy& policy, std::size_t n) {
   ChunkSpace cs;
   cs.n = n;
   if (policy.chunk > 0) {
     cs.chunk = static_cast<std::size_t>(policy.chunk);
   } else {
-    // Aim for a few chunks per worker so static round-robin stays
-    // balanced on skewed task costs without drowning in commit overhead.
-    const std::size_t target =
-        static_cast<std::size_t>(workers) * 4;
-    cs.chunk = std::max<std::size_t>(1, n / std::max<std::size_t>(1, target));
+    // The chunk partition must NOT depend on the worker count: per-chunk
+    // effects — obs task captures, scratch buffers task bodies allocate
+    // per chunk (wd_matrices.cc) — are part of the deterministic record,
+    // so the same n must always split into the same chunks.  A fixed
+    // target keeps round-robin balanced at any thread count the pipeline
+    // realistically runs with.
+    cs.chunk = std::max<std::size_t>(1, n / kAutoChunkTarget);
   }
   cs.num_chunks = (n + cs.chunk - 1) / cs.chunk;
   return cs;
@@ -135,10 +143,10 @@ void parallel_for_chunked(
     const ExecPolicy& policy, std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
+  const ChunkSpace cs = make_chunks(policy, n);
   const int resolved = policy.resolved_threads();
-  const int workers = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(resolved), n));
-  const ChunkSpace cs = make_chunks(policy, n, workers);
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolved), cs.num_chunks));
 
   auto run_chunk = [&](std::size_t c, obs::TaskCapture& cap,
                        std::exception_ptr& err) {
@@ -165,34 +173,53 @@ void parallel_for_chunked(
     return;
   }
 
-  std::vector<obs::TaskCapture> captures(cs.num_chunks);
-  std::vector<std::exception_ptr> errors(cs.num_chunks);
+  std::vector<obs::TaskCapture> captures;
+  std::vector<std::exception_ptr> errors;
   std::atomic<std::size_t> cursor{0};
 
-  const std::function<void(int)> body = [&](int slot) {
-    if (policy.deterministic) {
-      // Static round-robin: chunk c belongs to worker c % workers.  No
-      // time-dependent dispatch at all.
-      for (std::size_t c = static_cast<std::size_t>(slot); c < cs.num_chunks;
-           c += static_cast<std::size_t>(workers))
-        run_chunk(c, captures[c], errors[c]);
-    } else {
-      // Dynamic work-sharing (still stealing-free): a shared cursor hands
-      // out chunks in order.  Assignment is time-dependent; results and
-      // committed observability order are not.
-      for (;;) {
-        const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (c >= cs.num_chunks) break;
-        run_chunk(c, captures[c], errors[c]);
-      }
-    }
-  };
+  {
+    // Pooled-only engine bookkeeping (the capture/error arrays, the
+    // type-erased body, lazily created pool threads) is off the memory
+    // books: the inline path has none of it, and span allocation deltas
+    // must not depend on which path ran.  Chunk bodies themselves account
+    // normally — ScopedTaskCapture detaches into a clean context.
+    obs::memory::PauseScope mem_pause;
+    captures.resize(cs.num_chunks);
+    errors.resize(cs.num_chunks);
 
-  ThreadPool::instance().run(workers, body);
+    const std::function<void(int)> body = [&](int slot) {
+      if (policy.deterministic) {
+        // Static round-robin: chunk c belongs to worker c % workers.  No
+        // time-dependent dispatch at all.
+        for (std::size_t c = static_cast<std::size_t>(slot);
+             c < cs.num_chunks; c += static_cast<std::size_t>(workers))
+          run_chunk(c, captures[c], errors[c]);
+      } else {
+        // Dynamic work-sharing (still stealing-free): a shared cursor hands
+        // out chunks in order.  Assignment is time-dependent; results and
+        // committed observability order are not.
+        for (;;) {
+          const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (c >= cs.num_chunks) break;
+          run_chunk(c, captures[c], errors[c]);
+        }
+      }
+    };
+
+    ThreadPool::instance().run(workers, body);
+  }
 
   for (std::size_t c = 0; c < cs.num_chunks; ++c) {
     if (errors[c]) std::rethrow_exception(errors[c]);
     obs::commit_task_capture(std::move(captures[c]));
+  }
+
+  {
+    // The arrays' own storage was allocated under the pause above; free
+    // it under a pause too so the books stay balanced.
+    obs::memory::PauseScope mem_pause;
+    std::vector<obs::TaskCapture>().swap(captures);
+    std::vector<std::exception_ptr>().swap(errors);
   }
 }
 

@@ -39,8 +39,11 @@
 namespace lac::base {
 
 // Runs fn(begin, end) over contiguous chunks partitioning [0, n).
-// Chunk size comes from policy.chunk (0 = auto: balanced across
-// workers with a small oversubscription factor for tail balance).
+// Chunk size comes from policy.chunk (0 = auto: a fixed target chunk
+// count, deliberately independent of the worker count so the chunk
+// partition — and with it every per-chunk effect, from obs captures to
+// scratch buffers allocated per chunk — is identical at any thread
+// count).
 void parallel_for_chunked(
     const ExecPolicy& policy, std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& fn);

@@ -9,6 +9,7 @@
 // planner headers.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "base/exec_policy.h"
@@ -24,6 +25,10 @@ struct RunControls {
   obs::Override observability = obs::Override::kEnv;
   // Seed for every stochastic stage (partitioning, floorplan annealing).
   std::uint64_t seed = 1;
+  // Root-span store capacity (obs::set_max_root_spans).  Spans beyond the
+  // cap are timed but not retained; the report counts them in
+  // dropped_root_spans and `lacobs summary` warns when that is non-zero.
+  std::size_t max_root_spans = 4096;
 };
 
 }  // namespace lac::base

@@ -43,6 +43,16 @@ struct Floorplan {
   // Block whose rect contains p (boundaries inclusive, first match), or
   // invalid if p is in channel / dead area.
   [[nodiscard]] BlockId block_at(const Point& p) const;
+
+  // Logical heap footprint (element counts × element sizes, plus block
+  // name characters; not allocator capacity) — deterministic for any
+  // thread count, reported as the mem.floorplan_bytes gauge.
+  [[nodiscard]] std::int64_t bytes_used() const {
+    std::size_t bytes = blocks.size() * sizeof(BlockSpec) +
+                        placement.size() * sizeof(Rect);
+    for (const BlockSpec& b : blocks) bytes += b.name.size();
+    return static_cast<std::int64_t>(bytes);
+  }
 };
 
 struct FloorplanOptions {

@@ -27,6 +27,20 @@ MinCostFlow::MinCostFlow(int num_nodes)
   LAC_CHECK(num_nodes >= 0);
 }
 
+std::int64_t MinCostFlow::bytes_used() const {
+  std::size_t bytes = arc_to_.size() * sizeof(int) +
+                      arc_cap_.size() * sizeof(std::int64_t) +
+                      arc_cost_.size() * sizeof(std::int64_t) +
+                      orig_cap_.size() * sizeof(std::int64_t) +
+                      supply_.size() * sizeof(std::int64_t) +
+                      pi_.size() * sizeof(std::int64_t) +
+                      shipped_.size() * sizeof(std::int64_t) +
+                      dirty_arcs_.size() * sizeof(int);
+  bytes += out_.size() * sizeof(std::vector<int>);
+  for (const std::vector<int>& adj : out_) bytes += adj.size() * sizeof(int);
+  return static_cast<std::int64_t>(bytes);
+}
+
 int MinCostFlow::add_arc(int from, int to, std::int64_t capacity,
                          std::int64_t cost) {
   LAC_CHECK(from >= 0 && from < n_);

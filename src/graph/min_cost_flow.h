@@ -162,6 +162,12 @@ class MinCostFlow {
   [[nodiscard]] int num_nodes() const { return n_; }
   [[nodiscard]] int num_arcs() const { return static_cast<int>(arc_to_.size()) / 2; }
 
+  // Logical heap footprint of the residual network and warm state
+  // (element counts × element sizes, not allocator capacity) —
+  // deterministic for any thread count and identical for warm and cold
+  // instances of the same network, reported as mem.mcf_network_bytes.
+  [[nodiscard]] std::int64_t bytes_used() const;
+
  private:
   // Paired-arc residual representation: arc 2i is forward, 2i+1 backward.
   int n_;

@@ -52,6 +52,18 @@ std::optional<SpanNode> span_from_json(const json::Value& v) {
   if (const json::Value* s = v.find("seconds");
       s != nullptr && s->kind == json::Value::Kind::kNumber)
     node.seconds = s->num;
+  // Memory fields (v2).  Any one present marks the span as tracked; v1
+  // reports and strip-times'd baselines leave mem_valid false.
+  const auto read_bytes = [&](const char* key, std::int64_t& out) {
+    if (const json::Value* b = v.find(key);
+        b != nullptr && b->kind == json::Value::Kind::kNumber) {
+      out = static_cast<std::int64_t>(b->num);
+      node.mem_valid = true;
+    }
+  };
+  read_bytes("alloc_bytes", node.alloc_bytes);
+  read_bytes("freed_bytes", node.freed_bytes);
+  read_bytes("peak_live_bytes", node.peak_live_bytes);
   if (const json::Value* ann = v.find("annotations"); ann && ann->is_object())
     for (const auto& [k, av] : ann->object)
       node.annotations.push_back(annotation_from_json(k, av));
@@ -99,6 +111,12 @@ double self_seconds(const SpanNode& node) {
   return std::max(0.0, node.seconds - child_total);
 }
 
+std::int64_t self_alloc_bytes(const SpanNode& node) {
+  std::int64_t child_total = 0;
+  for (const SpanNode& c : node.children) child_total += c.alloc_bytes;
+  return std::max<std::int64_t>(0, node.alloc_bytes - child_total);
+}
+
 namespace {
 
 void accumulate(const SpanNode& node,
@@ -115,6 +133,13 @@ void accumulate(const SpanNode& node,
   ++s.count;
   s.total_seconds += node.seconds;
   s.self_seconds += self_seconds(node);
+  if (node.mem_valid) {
+    s.has_mem = true;
+    s.alloc_bytes += node.alloc_bytes;
+    s.freed_bytes += node.freed_bytes;
+    s.self_alloc_bytes += lac::obs::self_alloc_bytes(node);
+    s.peak_live_bytes = std::max(s.peak_live_bytes, node.peak_live_bytes);
+  }
   for (const SpanNode& c : node.children) accumulate(c, by_name);
 }
 

@@ -1,6 +1,8 @@
-// Post-hoc analysis of lac-obs-report/1 documents: re-hydrating span
-// trees from parsed report JSON, per-span self time (exclusive of
-// children), per-name aggregation, and critical-chain extraction.
+// Post-hoc analysis of lac-obs-report documents (v1 and v2): re-hydrating
+// span trees from parsed report JSON, per-span self time and self
+// allocation (exclusive of children), per-name aggregation, and
+// critical-chain extraction.  v1 reports simply have no memory fields;
+// everything memory-flavoured degrades to zeros with has_mem == false.
 //
 // Everything operates on parsed reports (json::Value) or the SpanNode
 // trees reconstructed from them, so the same code serves in-process
@@ -38,6 +40,10 @@ namespace lac::obs {
 // raw difference negative by a clock quantum.
 [[nodiscard]] double self_seconds(const SpanNode& node);
 
+// Bytes allocated in `node` itself, exclusive of its children (span
+// alloc_bytes is inclusive).  Clamped at zero.
+[[nodiscard]] std::int64_t self_alloc_bytes(const SpanNode& node);
+
 // Aggregate statistics for every span sharing one name.
 struct SpanStats {
   std::string name;
@@ -46,6 +52,12 @@ struct SpanStats {
   double self_seconds = 0.0;   // exclusive of children
   double min_seconds = 0.0;
   double max_seconds = 0.0;
+  // Memory aggregates (v2 reports); meaningful when has_mem.
+  bool has_mem = false;
+  std::int64_t alloc_bytes = 0;       // Σ inclusive allocations
+  std::int64_t freed_bytes = 0;       // Σ inclusive frees
+  std::int64_t self_alloc_bytes = 0;  // Σ exclusive of children
+  std::int64_t peak_live_bytes = 0;   // max over spans of the name
 
   [[nodiscard]] double mean_seconds() const {
     return count > 0 ? total_seconds / static_cast<double>(count) : 0.0;

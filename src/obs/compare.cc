@@ -110,6 +110,10 @@ bool is_timing_name(std::string_view name) {
   return name.find("seconds") != std::string_view::npos;
 }
 
+bool is_noisy_name(std::string_view name) {
+  return is_timing_name(name) || name.find("rss") != std::string_view::npos;
+}
+
 DiffResult diff_reports(const json::Value& baseline,
                         const json::Value& current,
                         const DiffOptions& opts) {
@@ -140,15 +144,18 @@ DiffResult diff_reports(const json::Value& baseline,
                   "counter not in baseline (regenerate the baseline?)");
   }
 
-  // Gauges: timing-named ones follow the timing tolerance; the rest are
-  // deterministic.
+  // Gauges: timing-named ones follow the timing tolerance; rss readings
+  // are machine-dependent and never gated; the rest are deterministic
+  // (including logical-size mem.*_bytes gauges — those come from
+  // container sizes, not the allocator).
   {
     const auto base = number_map(baseline, "gauges");
     const auto cur = number_map(current, "gauges");
     for (const auto& [name, bv] : base) {
       if (ignored(name, opts)) continue;
       const auto it = cur.find(name);
-      if (is_timing_name(name)) {
+      if (is_noisy_name(name)) {
+        if (!is_timing_name(name)) continue;  // rss: informational only
         if (it == cur.end()) continue;  // stripped side: nothing to diff
         if (bv < opts.min_seconds && it->second < opts.min_seconds) continue;
         std::string note;
@@ -169,7 +176,7 @@ DiffResult diff_reports(const json::Value& baseline,
       }
     }
     for (const auto& [name, cv] : cur)
-      if (base.find(name) == base.end() && !is_timing_name(name) &&
+      if (base.find(name) == base.end() && !is_noisy_name(name) &&
           !ignored(name, opts))
         add_entry(res, DiffEntry::Kind::kGauge, name, 0.0, cv,
                   Verdict::kRegress,
@@ -286,6 +293,11 @@ json::Value strip_span_times(const json::Value& span) {
   out.kind = json::Value::Kind::kObject;
   for (const auto& [k, v] : span.object) {
     if (k == "seconds") continue;
+    // Allocation deltas are deterministic per build but shift with every
+    // toolchain upgrade (container growth policies, node sizes); a
+    // checked-in baseline must not pin them.
+    if (k == "alloc_bytes" || k == "freed_bytes" || k == "peak_live_bytes")
+      continue;
     if (k == "children" && v.is_array()) {
       json::Value kids;
       kids.kind = json::Value::Kind::kArray;
@@ -303,11 +315,12 @@ json::Value strip_metrics_times(const json::Value& metrics) {
   json::Value out;
   out.kind = json::Value::Kind::kObject;
   for (const auto& [k, v] : metrics.object) {
+    if (k == "memory") continue;  // process facts (rss, tracking): all noisy
     if (k == "gauges" && v.is_object()) {
       json::Value gauges;
       gauges.kind = json::Value::Kind::kObject;
       for (const auto& [gk, gv] : v.object)
-        if (!is_timing_name(gk)) gauges.object.emplace_back(gk, gv);
+        if (!is_noisy_name(gk)) gauges.object.emplace_back(gk, gv);
       out.object.emplace_back(k, std::move(gauges));
       continue;
     }
@@ -356,7 +369,7 @@ json::Value strip_times(const json::Value& report) {
       json::Value meta;
       meta.kind = json::Value::Kind::kObject;
       for (const auto& [mk, mv] : v.object)
-        if (!is_timing_name(mk)) meta.object.emplace_back(mk, mv);
+        if (!is_noisy_name(mk)) meta.object.emplace_back(mk, mv);
       out.object.emplace_back(k, std::move(meta));
       continue;
     }

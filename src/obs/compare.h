@@ -1,16 +1,25 @@
-// Diffing two lac-obs-report/1 documents, with verdicts a CI gate can
-// act on.
+// Diffing two lac-obs-report documents (v1 or v2, mixed freely), with
+// verdicts a CI gate can act on.
 //
 // The diff distinguishes two classes of data:
 //   * deterministic values — counters (mcf.augmentations, lac.rounds,
 //     route.nets, ...), histogram observation counts, per-name span
-//     counts, and non-timing gauges/sums.  The pipeline is seeded and
-//     single-threaded per plan, so these must match exactly between two
-//     runs of the same code; any mismatch is a hard kRegress.
-//   * timings — span wall times and any metric whose name contains
-//     "seconds".  These are compared per span *name* (aggregated totals)
-//     with a fractional tolerance and warn/fail tiers, and can be capped
-//     at kWarn for noisy shared CI runners (timings_warn_only).
+//     counts, and non-noisy gauges/sums.  Logical-size memory gauges
+//     (mcf.network_bytes-style bytes_used() readings) belong here: they
+//     are computed from container sizes, not the allocator, so they must
+//     match exactly.  Any mismatch is a hard kRegress.
+//   * noisy values — span wall times, any metric whose name contains
+//     "seconds", and RSS readings (names containing "rss").  Timings are
+//     compared per span *name* (aggregated totals) with a fractional
+//     tolerance and warn/fail tiers, and can be capped at kWarn for noisy
+//     shared CI runners (timings_warn_only); rss gauges are never gated.
+//
+// Per-span allocation deltas (alloc_bytes/freed_bytes/peak_live_bytes)
+// are deliberately NOT diffed: they count requested allocation sizes,
+// which are deterministic per build but shift with every standard-library
+// or compiler upgrade (container growth policies, node sizes), so
+// checked-in baselines would not be portable across toolchains.
+// strip_times removes them.
 //
 // A baseline stripped of wall-clock data (`lacobs strip-times`, see
 // strip_times below) produces no timing comparisons at all: deterministic
@@ -69,17 +78,24 @@ struct DiffResult {
 // "lac.round_seconds", ...): the name contains "seconds".
 [[nodiscard]] bool is_timing_name(std::string_view name);
 
+// True for names carrying run-to-run-noisy data: timings plus RSS
+// readings ("mem.peak_rss_bytes").  Noisy names are exempt from the
+// exact-match gate and dropped by strip_times.
+[[nodiscard]] bool is_noisy_name(std::string_view name);
+
 // Diffs `current` against `baseline` (both parsed reports).
 [[nodiscard]] DiffResult diff_reports(const json::Value& baseline,
                                       const json::Value& current,
                                       const DiffOptions& opts = {});
 
-// Returns a copy of `report` with all wall-clock data removed, suitable
-// for checking in as a byte-stable CI baseline:
-//   * every span's "seconds" member is dropped (structure, names and
+// Returns a copy of `report` with all wall-clock and allocator-dependent
+// data removed, suitable for checking in as a byte-stable CI baseline:
+//   * every span's "seconds", "alloc_bytes", "freed_bytes" and
+//     "peak_live_bytes" members are dropped (structure, names and
 //     annotations are kept — span counts stay enforceable);
 //   * timing histograms keep only their deterministic "count";
-//   * timing gauges and timing meta entries are dropped.
+//   * noisy gauges (timings, rss) and noisy meta entries are dropped;
+//   * the metrics "memory" section (process facts) is dropped.
 [[nodiscard]] json::Value strip_times(const json::Value& report);
 
 }  // namespace lac::obs

@@ -1,0 +1,306 @@
+#include "obs/memory.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "obs/obs.h"
+
+#if defined(__GLIBC__)
+#define LAC_OBS_MEMORY_HOOKS 1
+#else
+#define LAC_OBS_MEMORY_HOOKS 0
+#endif
+
+namespace lac::obs::memory {
+
+namespace {
+
+// Per-thread attribution state.  Trivially constructible / destructible so
+// it is safe to touch from operator new/delete at any point of a thread's
+// lifetime, including before main and during thread teardown.
+struct TlsMem {
+  std::int64_t alloc = 0;
+  std::int64_t freed = 0;
+  std::int64_t live = 0;
+  std::int64_t peak = 0;
+  int pause = 0;
+  std::uint64_t calls = 0;  // raw probe, never gated or reset
+};
+thread_local TlsMem tl_mem;
+
+// Tri-state runtime switch resolved lazily from LAC_OBS_MEM: operator new
+// runs before any static initialiser in this TU could, so the state lives
+// in a constant-initialised atomic (0 = unresolved, 1 = on, 2 = off).
+std::atomic<unsigned char> g_track_state{0};
+
+bool resolve_tracking() {
+  unsigned char on = 1;
+#if !LAC_OBS_MEMORY_HOOKS
+  on = 2;
+#else
+  if (const char* v = std::getenv("LAC_OBS_MEM"); v != nullptr)
+    if (std::strcmp(v, "0") == 0 || std::strcmp(v, "false") == 0 ||
+        std::strcmp(v, "off") == 0 || std::strcmp(v, "no") == 0)
+      on = 2;
+#endif
+  g_track_state.store(on, std::memory_order_relaxed);
+  return on == 1;
+}
+
+inline bool tracking_on() {
+  const unsigned char s = g_track_state.load(std::memory_order_relaxed);
+  if (s != 0) return s == 1;
+  return resolve_tracking();
+}
+
+#if LAC_OBS_MEMORY_HOOKS
+
+// Counted sizes are the *requested* sizes, never malloc_usable_size: the
+// bytes glibc actually hands out depend on heap history (recycled chunks
+// keep unsplit remainders), and heap history depends on thread timing —
+// usable sizes would differ run to run even for a fully serial stage.
+// Requested sizes are a pure function of program behaviour, so they are
+// byte-identical for any thread count and any allocator.
+
+inline void on_alloc(std::size_t size) {
+  if (!enabled() || !tracking_on()) return;
+  TlsMem& m = tl_mem;
+  if (m.pause != 0) return;
+  m.alloc += static_cast<std::int64_t>(size);
+  m.live += static_cast<std::int64_t>(size);
+  if (m.live > m.peak) m.peak = m.live;
+}
+
+// The free side only knows the requested size for C++14 sized delete —
+// which is what libstdc++ containers, strings and node types emit.
+// Unsized deletes count zero freed bytes: still deterministic (the only
+// alternative, malloc_usable_size, is not), at the cost of live/peak
+// being a slight, deterministic overestimate when unsized deletes occur.
+inline void on_free(std::size_t size) {
+  if (!enabled() || !tracking_on()) return;
+  TlsMem& m = tl_mem;
+  if (m.pause != 0) return;
+  m.freed += static_cast<std::int64_t>(size);
+  m.live -= static_cast<std::int64_t>(size);
+}
+
+// malloc with the standard new-handler retry loop; returns nullptr only
+// once no handler is installed.
+void* alloc_retry(std::size_t size) {
+  ++tl_mem.calls;
+  std::size_t request = size == 0 ? 1 : size;
+  for (;;) {
+    void* p = std::malloc(request);
+    if (p != nullptr) {
+      on_alloc(size);  // the original size, matching sized delete
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+void* aligned_alloc_retry(std::size_t size, std::size_t align) {
+  ++tl_mem.calls;
+  std::size_t request = size == 0 ? 1 : size;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align, request) == 0 && p != nullptr) {
+      on_alloc(size);
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+inline void dealloc(void* p) {
+  if (p == nullptr) return;
+  std::free(p);
+}
+
+inline void dealloc_sized(void* p, std::size_t size) {
+  if (p == nullptr) return;
+  on_free(size);
+  std::free(p);
+}
+
+#endif  // LAC_OBS_MEMORY_HOOKS
+
+}  // namespace
+
+bool tracking_available() { return LAC_OBS_MEMORY_HOOKS != 0; }
+
+bool tracking_enabled() { return tracking_on(); }
+
+ThreadCounters thread_counters() {
+  const TlsMem& m = tl_mem;
+  return {m.alloc, m.freed, m.live, m.peak};
+}
+
+std::uint64_t thread_alloc_calls() { return tl_mem.calls; }
+
+PauseScope::PauseScope() { ++tl_mem.pause; }
+PauseScope::~PauseScope() { --tl_mem.pause; }
+
+Context detach_context() {
+  TlsMem& m = tl_mem;
+  const Context saved{m.alloc, m.freed, m.live, m.peak, m.pause};
+  const std::uint64_t calls = m.calls;  // the probe is not attribution state
+  m = TlsMem{};
+  m.calls = calls;
+  return saved;
+}
+
+void restore_context(const Context& saved) {
+  TlsMem& m = tl_mem;
+  m.alloc = saved.alloc_bytes;
+  m.freed = saved.freed_bytes;
+  m.live = saved.live_bytes;
+  m.peak = saved.peak_live_bytes;
+  m.pause = saved.pause_depth;
+}
+
+void credit(std::int64_t alloc_bytes, std::int64_t freed_bytes) {
+  TlsMem& m = tl_mem;
+  m.alloc += alloc_bytes;
+  m.freed += freed_bytes;
+  m.live += alloc_bytes - freed_bytes;
+  if (m.live > m.peak) m.peak = m.live;
+}
+
+SpanMark begin_span() {
+  TlsMem& m = tl_mem;
+  const SpanMark mark{m.alloc, m.freed, m.live, m.peak};
+  m.peak = m.live;
+  return mark;
+}
+
+SpanDelta end_span(const SpanMark& mark) {
+  TlsMem& m = tl_mem;
+  SpanDelta d;
+  d.alloc_bytes = m.alloc - mark.alloc0;
+  d.freed_bytes = m.freed - mark.freed0;
+  d.peak_live_bytes = m.peak > mark.live0 ? m.peak - mark.live0 : 0;
+  if (mark.peak_saved > m.peak) m.peak = mark.peak_saved;
+  return d;
+}
+
+namespace {
+
+// Reads one "<key>:   <n> kB" line from /proc/self/status; 0 elsewhere.
+std::int64_t proc_status_kb(const char* key) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::int64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':')
+      continue;
+    kb = std::strtoll(line + key_len + 1, nullptr, 10);
+    break;
+  }
+  std::fclose(f);
+  return kb;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::int64_t peak_rss_bytes() { return proc_status_kb("VmHWM") * 1024; }
+
+std::int64_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+}  // namespace lac::obs::memory
+
+#if LAC_OBS_MEMORY_HOOKS
+
+// Global operator new/delete replacement.  All variants funnel through the
+// counting helpers above; delete works for both malloc and posix_memalign
+// storage, so one deallocation path serves every overload.
+
+namespace lacmem = lac::obs::memory;
+
+void* operator new(std::size_t size) {
+  void* p = lacmem::alloc_retry(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return lacmem::alloc_retry(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return lacmem::alloc_retry(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = lacmem::aligned_alloc_retry(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return lacmem::aligned_alloc_retry(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return lacmem::aligned_alloc_retry(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { lacmem::dealloc(p); }
+void operator delete[](void* p) noexcept { lacmem::dealloc(p); }
+void operator delete(void* p, std::size_t size) noexcept {
+  lacmem::dealloc_sized(p, size);
+}
+void operator delete[](void* p, std::size_t size) noexcept {
+  lacmem::dealloc_sized(p, size);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  lacmem::dealloc(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  lacmem::dealloc(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  lacmem::dealloc(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  lacmem::dealloc(p);
+}
+void operator delete(void* p, std::size_t size, std::align_val_t) noexcept {
+  lacmem::dealloc_sized(p, size);
+}
+void operator delete[](void* p, std::size_t size, std::align_val_t) noexcept {
+  lacmem::dealloc_sized(p, size);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  lacmem::dealloc(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  lacmem::dealloc(p);
+}
+
+#endif  // LAC_OBS_MEMORY_HOOKS

@@ -1,0 +1,129 @@
+// Deterministic memory accounting for the observability layer.
+//
+// The heap traffic of the pipeline's C++ containers is observed by
+// replacing the global `operator new` / `operator delete` (memory.cc) and
+// counting bytes into plain thread-local counters — no locks, no atomics
+// on the allocation path, and the accounting itself never allocates.
+// Counted bytes are the *requested* sizes, not what the allocator hands
+// out: glibc's actual chunk sizes depend on heap history (and with it on
+// thread timing), while requested sizes are a pure function of program
+// behaviour — byte-identical for any thread count and any allocator.
+// The free side learns sizes from C++14 sized `operator delete` (what
+// libstdc++ containers emit); unsized deletes count zero freed bytes,
+// keeping freed_bytes deterministic at the cost of live/peak being a
+// slight deterministic overestimate.  The hooks are enabled on glibc; on
+// other platforms they are compiled out and tracking_available() is
+// false — everything else degrades gracefully (spans simply omit their
+// memory fields, reports omit span deltas).
+//
+// Determinism contract.  Per-span allocation deltas must be byte-identical
+// for any thread count, exactly like counters and span trees.  Three
+// mechanisms deliver that, mirroring obs/task.h:
+//   1. Task contexts: ScopedTaskCapture detaches this thread's counters
+//      (detach_context) so a task's traffic accumulates from zero, and
+//      commit_task_capture credits the net delta back on the calling
+//      thread in task-index order (credit()) — where it flows into
+//      whatever span is open there, independent of which worker actually
+//      ran the task.
+//   2. Pause scopes: the parallel engine wraps its own bookkeeping
+//      (capture arrays, the pool body, thread creation) in a PauseScope
+//      so pooled and inline execution charge identical bytes to spans.
+//   3. Worker-count-independent chunking (base/parallel.cc): per-chunk
+//      scratch allocated by task bodies is identical for every thread
+//      count because the chunk partition itself is.
+//
+// `peak_live_bytes` is a high-water mark of the thread's live bytes
+// relative to span entry.  Net task deltas are credited as a single
+// step, so a span enclosing a parallel region sees the committed net
+// growth, not the workers' transient peaks — deterministic, but a lower
+// bound on the true process peak (mem.peak_rss_bytes reports that).
+//
+// Tracking is on by default when available; set LAC_OBS_MEM=0/false/off/no
+// to disable.  While obs::enabled() is false nothing is counted at all.
+#pragma once
+
+#include <cstdint>
+
+namespace lac::obs::memory {
+
+// True when this build can observe heap traffic (glibc new/delete hooks).
+[[nodiscard]] bool tracking_available();
+
+// tracking_available() and not disabled via LAC_OBS_MEM.
+[[nodiscard]] bool tracking_enabled();
+
+// Raw count of operator-new calls made by this thread since thread
+// start.  Unlike the byte counters it is never gated — not by
+// obs::enabled(), LAC_OBS_MEM, PauseScope, or detach_context() — so
+// tests can assert a code path performs no allocation at all.  Frozen
+// (and zero) when tracking_available() is false.
+[[nodiscard]] std::uint64_t thread_alloc_calls();
+
+// This thread's counters since thread start (or the enclosing
+// detach_context()).  live/peak are relative to the same origin and may
+// go negative when memory allocated elsewhere is freed here.
+struct ThreadCounters {
+  std::int64_t alloc_bytes = 0;
+  std::int64_t freed_bytes = 0;
+  std::int64_t live_bytes = 0;
+  std::int64_t peak_live_bytes = 0;
+};
+[[nodiscard]] ThreadCounters thread_counters();
+
+// RAII: suspends counting on this thread (nests).  Used by the parallel
+// engine around bookkeeping whose size depends on the worker count.
+class PauseScope {
+ public:
+  PauseScope();
+  PauseScope(const PauseScope&) = delete;
+  PauseScope& operator=(const PauseScope&) = delete;
+  ~PauseScope();
+};
+
+// Saved attribution state of a thread, for task captures.
+struct Context {
+  std::int64_t alloc_bytes = 0;
+  std::int64_t freed_bytes = 0;
+  std::int64_t live_bytes = 0;
+  std::int64_t peak_live_bytes = 0;
+  int pause_depth = 0;
+};
+
+// Zeroes this thread's counters and pause depth (a task accounts from a
+// clean slate even when the engine paused the spawning scope), returning
+// the previous state for restore_context().
+[[nodiscard]] Context detach_context();
+void restore_context(const Context& saved);
+
+// Credits a committed task's net traffic to this thread's counters, as
+// one allocation step (bypasses PauseScope: crediting is deliberate).
+void credit(std::int64_t alloc_bytes, std::int64_t freed_bytes);
+
+// Span bookkeeping (span.cc).  begin_span() snapshots the counters and
+// resets the peak watermark to the current live level; end_span() returns
+// the deltas accumulated since.
+struct SpanMark {
+  std::int64_t alloc0 = 0;
+  std::int64_t freed0 = 0;
+  std::int64_t live0 = 0;
+  std::int64_t peak_saved = 0;
+};
+[[nodiscard]] SpanMark begin_span();
+
+struct SpanDelta {
+  std::int64_t alloc_bytes = 0;
+  std::int64_t freed_bytes = 0;
+  std::int64_t peak_live_bytes = 0;  // max live above the entry level, >= 0
+};
+[[nodiscard]] SpanDelta end_span(const SpanMark& mark);
+
+// Process peak resident set (/proc/self/status VmHWM) in bytes; 0 when
+// unavailable (non-Linux).  Machine- and scheduling-dependent: reports
+// classify it noisy, like wall-clock timings.
+[[nodiscard]] std::int64_t peak_rss_bytes();
+
+// Current resident set (/proc/self/status VmRSS) in bytes; 0 when
+// unavailable.
+[[nodiscard]] std::int64_t current_rss_bytes();
+
+}  // namespace lac::obs::memory

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <system_error>
 
+#include "obs/memory.h"
 #include "obs/obs.h"
 
 namespace lac::obs {
@@ -52,6 +53,12 @@ json::Value span_to_json(const SpanNode& node) {
   v.kind = json::Value::Kind::kObject;
   v.object.emplace_back("name", json::Value::of(node.name));
   v.object.emplace_back("seconds", json::Value::of(node.seconds));
+  if (node.mem_valid) {
+    v.object.emplace_back("alloc_bytes", json::Value::of(node.alloc_bytes));
+    v.object.emplace_back("freed_bytes", json::Value::of(node.freed_bytes));
+    v.object.emplace_back("peak_live_bytes",
+                          json::Value::of(node.peak_live_bytes));
+  }
   if (!node.annotations.empty()) {
     json::Value ann;
     ann.kind = json::Value::Kind::kObject;
@@ -74,7 +81,7 @@ json::Value build_report(
     const std::vector<std::pair<std::string, json::Value>>& meta) {
   json::Value root;
   root.kind = json::Value::Kind::kObject;
-  root.object.emplace_back("schema", json::Value::of("lac-obs-report/1"));
+  root.object.emplace_back("schema", json::Value::of("lac-obs-report/2"));
   root.object.emplace_back("name", json::Value::of(name));
   root.object.emplace_back("obs_enabled", json::Value::of(enabled()));
 
@@ -107,6 +114,15 @@ json::Value build_report(
   for (const auto& [k, v] : m.histograms())
     hists.object.emplace_back(k, histogram_to_json(v));
   metrics.object.emplace_back("histograms", std::move(hists));
+  // Process-level memory facts (v2).  peak_rss_bytes is machine- and
+  // scheduling-dependent; compare/strip classify the whole section noisy.
+  json::Value mem;
+  mem.kind = json::Value::Kind::kObject;
+  mem.object.emplace_back("tracking",
+                          json::Value::of(memory::tracking_enabled()));
+  if (const std::int64_t rss = memory::peak_rss_bytes(); rss > 0)
+    mem.object.emplace_back("peak_rss_bytes", json::Value::of(rss));
+  metrics.object.emplace_back("memory", std::move(mem));
   root.object.emplace_back("metrics", std::move(metrics));
 
   root.object.emplace_back("dropped_root_spans",

@@ -1,9 +1,9 @@
 // Structured JSON run reports: the span tree + metrics registry snapshot
 // serialised into one machine-readable document.
 //
-// Schema ("lac-obs-report/1"):
+// Schema ("lac-obs-report/2"):
 //   {
-//     "schema": "lac-obs-report/1",
+//     "schema": "lac-obs-report/2",
 //     "name": <report name>,
 //     "obs_enabled": <bool>,             // switch state at build time
 //     "meta": { <caller-supplied> },
@@ -12,12 +12,17 @@
 //       "counters":   { name: int, ... },
 //       "gauges":     { name: number, ... },
 //       "histograms": { name: {count, sum, min, max,
-//                              buckets: [{le, count}, ...]}, ... }
+//                              buckets: [{le, count}, ...]}, ... },
+//       "memory":     { "tracking": <bool>,
+//                       "peak_rss_bytes": <int> }   // only when > 0
 //     },
 //     "dropped_root_spans": <int>
 //   }
 // where <span> = {"name", "seconds", "annotations": {k: v}, "children":
-// [<span>...]}.
+// [<span>...]} plus, when memory tracking was on for the span,
+// "alloc_bytes" / "freed_bytes" / "peak_live_bytes" (requested-size
+// deltas; see obs/memory.h).  v1 reports are identical minus the memory
+// fields and parse everywhere a v2 report does.
 //
 // Building a report *drains* the finished-root-span store, so successive
 // reports partition the trace rather than repeating it.

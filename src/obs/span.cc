@@ -10,15 +10,16 @@ namespace lac::obs {
 
 namespace {
 
-// Safety cap for processes that record forever without draining (e.g.
-// google-benchmark loops running plan() thousands of times).
-constexpr std::size_t kMaxRoots = 4096;
+// Default safety cap for processes that record forever without draining
+// (e.g. google-benchmark loops running plan() thousands of times).
+constexpr std::size_t kDefaultMaxRoots = 4096;
 
 thread_local Span* tl_current = nullptr;
 
 std::mutex g_roots_mu;
 std::vector<SpanNode> g_roots;
 std::int64_t g_dropped = 0;
+std::size_t g_max_roots = kDefaultMaxRoots;
 
 }  // namespace
 
@@ -32,7 +33,7 @@ void* exchange_current_span(void* span) {
 
 void publish_root_globally(SpanNode&& node) {
   std::lock_guard lock(g_roots_mu);
-  if (g_roots.size() < kMaxRoots)
+  if (g_roots.size() < g_max_roots)
     g_roots.push_back(std::move(node));
   else
     ++g_dropped;
@@ -54,6 +55,13 @@ const Annotation* SpanNode::find_annotation(std::string_view key) const {
 
 Span::Span(std::string_view name) : t0_(std::chrono::steady_clock::now()) {
   if (!enabled()) return;
+  // The mark comes first so the span's own node (and everything after)
+  // counts toward its delta; the node is tiny and fixed-size, so deltas
+  // stay deterministic.
+  if (memory::tracking_enabled()) {
+    mem_track_ = true;
+    mem_mark_ = memory::begin_span();
+  }
   node_ = new SpanNode;
   node_->name.assign(name);
   parent_ = tl_current;
@@ -63,6 +71,13 @@ Span::Span(std::string_view name) : t0_(std::chrono::steady_clock::now()) {
 Span::~Span() {
   if (node_ == nullptr) return;
   node_->seconds = elapsed_seconds();
+  if (mem_track_) {
+    const memory::SpanDelta d = memory::end_span(mem_mark_);
+    node_->alloc_bytes = d.alloc_bytes;
+    node_->freed_bytes = d.freed_bytes;
+    node_->peak_live_bytes = d.peak_live_bytes;
+    node_->mem_valid = true;
+  }
   if (tl_current == this) tl_current = parent_;
   if (parent_ != nullptr && parent_->node_ != nullptr) {
     parent_->node_->children.push_back(std::move(*node_));
@@ -121,6 +136,16 @@ std::vector<SpanNode> take_finished_roots() {
 std::int64_t dropped_roots() {
   std::lock_guard lock(g_roots_mu);
   return g_dropped;
+}
+
+void set_max_root_spans(std::size_t cap) {
+  std::lock_guard lock(g_roots_mu);
+  g_max_roots = cap;
+}
+
+std::size_t max_root_spans() {
+  std::lock_guard lock(g_roots_mu);
+  return g_max_roots;
 }
 
 }  // namespace lac::obs

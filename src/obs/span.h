@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/memory.h"
+
 namespace lac::obs {
 
 struct Annotation {
@@ -36,10 +38,18 @@ struct Annotation {
 };
 
 // One finished span: name, wall time, annotations, finished children in
-// completion order.
+// completion order.  When memory tracking was active (obs/memory.h) the
+// span also carries its heap traffic: bytes allocated and freed while the
+// span was open on its thread (inclusive of children and of parallel work
+// committed into it), and the live-byte high-water mark above the entry
+// level.  mem_valid distinguishes "tracked, zero bytes" from "untracked".
 struct SpanNode {
   std::string name;
   double seconds = 0.0;
+  std::int64_t alloc_bytes = 0;
+  std::int64_t freed_bytes = 0;
+  std::int64_t peak_live_bytes = 0;
+  bool mem_valid = false;
   std::vector<Annotation> annotations;
   std::vector<SpanNode> children;
 
@@ -83,6 +93,8 @@ class Span {
   std::chrono::steady_clock::time_point t0_;
   SpanNode* node_ = nullptr;  // owned while open; null when not recording
   Span* parent_ = nullptr;    // enclosing recording span on this thread
+  bool mem_track_ = false;    // memory tracking was on at construction
+  memory::SpanMark mem_mark_;
 };
 
 // Drains and returns the finished root spans published so far (across all
@@ -92,5 +104,13 @@ class Span {
 // Root spans discarded because the store hit its safety cap (long-running
 // processes that never drain, e.g. benchmark loops).
 [[nodiscard]] std::int64_t dropped_roots();
+
+// Capacity of the root-span store.  Defaults to 4096; configurable via
+// base::RunControls::max_root_spans so long LAC loops with many plans per
+// process can keep their whole trace (`lacobs summary` warns when a
+// report's dropped_root_spans is nonzero).  A cap of 0 keeps spans
+// recording but publishes no roots.
+void set_max_root_spans(std::size_t cap);
+[[nodiscard]] std::size_t max_root_spans();
 
 }  // namespace lac::obs

@@ -33,12 +33,23 @@ void publish_root(SpanNode&& node) {
 }  // namespace detail
 
 ScopedTaskCapture::ScopedTaskCapture(TaskCapture* capture)
-    : prev_sink_(tl_sink),
-      prev_span_(detail::exchange_current_span(nullptr)) {
+    : capture_(capture),
+      prev_sink_(tl_sink),
+      prev_span_(detail::exchange_current_span(nullptr)),
+      mem_saved_(memory::detach_context()) {
   tl_sink = capture;
 }
 
 ScopedTaskCapture::~ScopedTaskCapture() {
+  // The detached context accumulated exactly this task's heap traffic
+  // (detach resets any engine PauseScope for the task's duration); the
+  // committing thread credits it back in task-index order.
+  const memory::ThreadCounters task_mem = memory::thread_counters();
+  if (capture_ != nullptr) {
+    capture_->alloc_bytes += task_mem.alloc_bytes;
+    capture_->freed_bytes += task_mem.freed_bytes;
+  }
+  memory::restore_context(mem_saved_);
   tl_sink = prev_sink_;
   (void)detail::exchange_current_span(prev_span_);
 }
@@ -46,6 +57,7 @@ ScopedTaskCapture::~ScopedTaskCapture() {
 void commit_task_capture(TaskCapture&& capture) {
   // Replaying through the public entry points routes into the enclosing
   // capture when loops nest, and into the global store/registry otherwise.
+  memory::credit(capture.alloc_bytes, capture.freed_bytes);
   for (MetricEvent& e : capture.events) {
     switch (e.kind) {
       case MetricEvent::Kind::kCount:

@@ -38,12 +38,19 @@ struct MetricEvent {
 };
 
 // Buffered observability output of one task: root spans finished while the
-// capture was installed, and metric events in emission order.
+// capture was installed, metric events in emission order, and the task's
+// net heap traffic (obs/memory.h) — credited to the committing thread so
+// per-span allocation deltas are independent of which worker ran the task.
 struct TaskCapture {
   std::vector<SpanNode> roots;
   std::vector<MetricEvent> events;
+  std::int64_t alloc_bytes = 0;
+  std::int64_t freed_bytes = 0;
 
-  [[nodiscard]] bool empty() const { return roots.empty() && events.empty(); }
+  [[nodiscard]] bool empty() const {
+    return roots.empty() && events.empty() && alloc_bytes == 0 &&
+           freed_bytes == 0;
+  }
 };
 
 // RAII: redirects this thread's observability output into `capture` and
@@ -60,8 +67,10 @@ class ScopedTaskCapture {
   ~ScopedTaskCapture();
 
  private:
+  TaskCapture* capture_ = nullptr;
   TaskCapture* prev_sink_ = nullptr;
   void* prev_span_ = nullptr;  // opaque Span*; span.cc owns the type
+  memory::Context mem_saved_;  // counters detached for the task's duration
 };
 
 // Applies a capture's events and publishes its roots *at the current

@@ -53,9 +53,17 @@ void emit_span(const json::Value& span, double ts_us, int tid,
 
   json::Value e = event(name->str, "X", ts_us, tid);
   e.object.emplace_back("dur", json::Value::of(dur_us));
+  json::Value args = object();
   if (const json::Value* ann = span.find("annotations");
       ann != nullptr && ann->is_object())
-    e.object.emplace_back("args", *ann);
+    args = *ann;
+  // v2 span memory deltas ride along as args so slice selection in
+  // Perfetto shows them next to the annotations.
+  for (const char* key : {"alloc_bytes", "freed_bytes", "peak_live_bytes"})
+    if (const json::Value* b = span.find(key);
+        b != nullptr && b->kind == json::Value::Kind::kNumber)
+      args.object.emplace_back(key, *b);
+  if (!args.object.empty()) e.object.emplace_back("args", std::move(args));
   events.array.push_back(std::move(e));
 
   if (const json::Value* kids = span.find("children");
@@ -125,13 +133,24 @@ json::Value to_trace_events(const json::Value& report) {
           s != nullptr && s->kind == json::Value::Kind::kNumber)
         events.array.push_back(counter_event(k + ".sum", s->num));
     }
+  // v2 process-memory facts become their own counter track family so
+  // Perfetto groups them away from the mcf.*/lac.* pipeline metrics.
+  if (const json::Value* mem = report.at_path({"metrics", "memory"});
+      mem != nullptr && mem->is_object())
+    for (const auto& [k, v] : mem->object)
+      if (v.kind == json::Value::Kind::kNumber)
+        events.array.push_back(counter_event("memory." + k, v.num));
 
   json::Value doc = object();
   doc.object.emplace_back("traceEvents", std::move(events));
   doc.object.emplace_back("displayTimeUnit", json::Value::of("ms"));
   json::Value other = object();
-  other.object.emplace_back("source_schema",
-                            json::Value::of("lac-obs-report/1"));
+  const json::Value* schema = report.find("schema");
+  other.object.emplace_back(
+      "source_schema",
+      schema != nullptr && schema->kind == json::Value::Kind::kString
+          ? json::Value::of(schema->str)
+          : json::Value::of("lac-obs-report/1"));
   doc.object.emplace_back("otherData", std::move(other));
   return doc;
 }

@@ -1,4 +1,4 @@
-// lac-obs-report/1 → Chrome trace-event JSON (the "JSON Object Format"
+// lac-obs-report/2 (or /1) → Chrome trace-event JSON (the "JSON Object Format"
 // with a "traceEvents" array), loadable in Perfetto and chrome://tracing.
 //
 // Reports record durations, not absolute timestamps, so the timeline is

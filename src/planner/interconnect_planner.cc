@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "base/check.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "partition/fm.h"
@@ -83,6 +84,7 @@ PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
   std::optional<obs::ScopedEnable> obs_override;
   if (config_.run.observability != obs::Override::kEnv)
     obs_override.emplace(config_.run.observability == obs::Override::kOn);
+  obs::set_max_root_spans(config_.run.max_root_spans);
   obs::Span span("planner.plan");
   span.annotate("circuit", nl.name());
   span.annotate("cells", nl.num_cells());
@@ -151,6 +153,7 @@ PlanResult InterconnectPlanner::plan_on_floorplan(
   res.circuit = nl.name();
   res.block_of = std::move(block_of);
   res.fp = std::move(fp);
+  obs::gauge("mem.floorplan_bytes", static_cast<double>(res.fp.bytes_used()));
 
   // Cell positions: the RT abstraction places every cell at its block's
   // centre (intra-block distances are not yet known at this stage).
@@ -175,6 +178,9 @@ PlanResult InterconnectPlanner::plan_on_floorplan(
     stage.annotate("tiles", res.grid->num_tiles());
     stage.annotate("nx", res.grid->nx());
     stage.annotate("ny", res.grid->ny());
+    stage.annotate("mem_bytes", res.grid->bytes_used());
+    obs::gauge("mem.tile_graph_bytes",
+               static_cast<double>(res.grid->bytes_used()));
   }
   tile::TileGrid& grid = *res.grid;
 
@@ -304,12 +310,16 @@ PlanResult InterconnectPlanner::plan_on_floorplan(
 
   graph_span->annotate("vertices", g.num_vertices());
   graph_span->annotate("interconnect_units", res.interconnect_units);
+  graph_span->annotate("mem_bytes", g.bytes_used());
+  obs::gauge("mem.retiming_graph_bytes", static_cast<double>(g.bytes_used()));
   graph_span.reset();
 
   // 6. Timing landmarks.
   std::optional<obs::Span> timing_span;
   timing_span.emplace("stage.timing");
   const auto wd = retime::WdMatrices::compute(g, config_.run.exec);
+  timing_span->annotate("mem_bytes", wd.bytes_used());
+  obs::gauge("mem.wd_bytes", static_cast<double>(wd.bytes_used()));
   res.t_init_ps = wd.t_init_ps();
   res.t_min_ps = retime::min_period_retiming(g, wd);
   res.t_clk_ps = res.t_min_ps + config_.clock_slack_fraction *
@@ -356,6 +366,11 @@ PlanResult InterconnectPlanner::plan_on_floorplan(
     stage.annotate("n_f", res.lac.report.n_f);
     stage.annotate("met_all_constraints", res.lac.report.fits());
   }
+
+  // OS-level high-water mark; noisy across runs, so the perf gate treats
+  // every *rss* gauge as informational only.
+  if (const std::int64_t rss = obs::memory::peak_rss_bytes(); rss > 0)
+    obs::gauge("mem.peak_rss_bytes", static_cast<double>(rss));
   return res;
 }
 
@@ -369,6 +384,7 @@ std::optional<PlanResult> InterconnectPlanner::replan_expanded(
   std::optional<obs::ScopedEnable> obs_override;
   if (config_.run.observability != obs::Override::kEnv)
     obs_override.emplace(config_.run.observability == obs::Override::kOn);
+  obs::set_max_root_spans(config_.run.max_root_spans);
   obs::Span span("planner.replan_expanded");
   span.annotate("circuit", nl.name());
   span.annotate("prev_tiles_violating", rep.tiles_violating);

@@ -62,6 +62,18 @@ std::int64_t RetimingGraph::total_delay_decips() const {
   return s;
 }
 
+std::int64_t RetimingGraph::bytes_used() const {
+  std::size_t bytes = kind_.size() * sizeof(VertexKind) +
+                      delay_.size() * sizeof(std::int32_t) +
+                      tile_.size() * sizeof(tile::TileId) +
+                      edges_.size() * sizeof(Edge) +
+                      io_.size() * sizeof(int);
+  bytes += (out_.size() + in_.size()) * sizeof(std::vector<int>);
+  for (const std::vector<int>& adj : out_) bytes += adj.size() * sizeof(int);
+  for (const std::vector<int>& adj : in_) bytes += adj.size() * sizeof(int);
+  return static_cast<std::int64_t>(bytes);
+}
+
 bool RetimingGraph::is_legal_retiming(const std::vector<int>& r) const {
   if (static_cast<int>(r.size()) != num_vertices()) return false;
   for (int e = 0; e < num_edges(); ++e)

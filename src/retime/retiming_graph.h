@@ -90,6 +90,11 @@ class RetimingGraph {
   [[nodiscard]] std::int64_t total_weight() const;  // Σ w(e)
   [[nodiscard]] std::int64_t total_delay_decips() const;
 
+  // Logical heap footprint (element counts × element sizes, not allocator
+  // capacity) — deterministic for any thread count, reported as the
+  // mem.retiming_graph_bytes gauge.
+  [[nodiscard]] std::int64_t bytes_used() const;
+
   // Retimed weight of edge e under labels r.  r[host()] is the reference.
   [[nodiscard]] std::int64_t retimed_weight(int e,
                                             const std::vector<int>& r) const {

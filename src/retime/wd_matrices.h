@@ -66,6 +66,14 @@ class WdMatrices {
     return max_vertex_delay_;
   }
 
+  // Logical heap footprint of the two dense matrices (element count ×
+  // element size, not allocator capacity) — deterministic for any thread
+  // count, reported as the mem.wd_bytes gauge.
+  [[nodiscard]] std::int64_t bytes_used() const {
+    return static_cast<std::int64_t>(w_.size() * sizeof(std::int32_t) +
+                                     d_.size() * sizeof(std::int32_t));
+  }
+
  private:
   int n_ = 0;
   std::vector<std::int32_t> w_;

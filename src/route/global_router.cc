@@ -237,23 +237,19 @@ std::vector<RouteTree> GlobalRouter::route_all(
     };
     return span(nets[a]) > span(nets[b]);
   });
-  const int workers = opt_.exec.resolved_threads();
-  std::vector<char> dirty;
-  const std::size_t batch_size = static_cast<std::size_t>(workers) * 4;
-  if (workers <= 1) {
-    for (const std::size_t i : order) {
-      trees[i] = route_one(nets[i]);
-      add_usage(trees[i], 1.0);
-    }
-  } else {
-    dirty.assign(usage_.size(), 0);
-    for (std::size_t begin = 0; begin < order.size(); begin += batch_size) {
-      const std::size_t end = std::min(order.size(), begin + batch_size);
-      const std::vector<std::size_t> batch(
-          order.begin() + static_cast<std::ptrdiff_t>(begin),
-          order.begin() + static_cast<std::ptrdiff_t>(end));
-      route_batch(nets, batch, /*ripup=*/false, trees, dirty);
-    }
+  // One batched path for every thread count, with a fixed batch size: the
+  // snapshot-validity check already makes the result independent of how
+  // the batch is split, and a worker-independent batch partition keeps
+  // every per-batch effect — obs task captures, snapshot/candidate
+  // allocations charged to the route span — byte-identical too.
+  std::vector<char> dirty(usage_.size(), 0);
+  constexpr std::size_t kBatchSize = 32;
+  for (std::size_t begin = 0; begin < order.size(); begin += kBatchSize) {
+    const std::size_t end = std::min(order.size(), begin + kBatchSize);
+    const std::vector<std::size_t> batch(
+        order.begin() + static_cast<std::ptrdiff_t>(begin),
+        order.begin() + static_cast<std::ptrdiff_t>(end));
+    route_batch(nets, batch, /*ripup=*/false, trees, dirty);
   }
 
   // Rip-up & re-route rounds over nets that touch overflowed edges.
@@ -283,22 +279,13 @@ std::vector<RouteTree> GlobalRouter::route_all(
           break;
         }
     }
-    if (workers <= 1) {
-      for (const std::size_t i : to_reroute) {
-        add_usage(trees[i], -1.0);
-        trees[i] = route_one(nets[i]);
-        add_usage(trees[i], 1.0);
-      }
-    } else {
-      for (std::size_t begin = 0; begin < to_reroute.size();
-           begin += batch_size) {
-        const std::size_t end =
-            std::min(to_reroute.size(), begin + batch_size);
-        const std::vector<std::size_t> batch(
-            to_reroute.begin() + static_cast<std::ptrdiff_t>(begin),
-            to_reroute.begin() + static_cast<std::ptrdiff_t>(end));
-        route_batch(nets, batch, /*ripup=*/true, trees, dirty);
-      }
+    for (std::size_t begin = 0; begin < to_reroute.size();
+         begin += kBatchSize) {
+      const std::size_t end = std::min(to_reroute.size(), begin + kBatchSize);
+      const std::vector<std::size_t> batch(
+          to_reroute.begin() + static_cast<std::ptrdiff_t>(begin),
+          to_reroute.begin() + static_cast<std::ptrdiff_t>(end));
+      route_batch(nets, batch, /*ripup=*/true, trees, dirty);
     }
     const long long rerouted = static_cast<long long>(to_reroute.size());
     stats_.nets_rerouted += rerouted;

@@ -17,6 +17,7 @@
 // cell adjacency.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "base/geometry.h"
@@ -82,6 +83,17 @@ class TileGrid {
   // Aggregates for reporting.
   [[nodiscard]] double total_channel_capacity() const;
   [[nodiscard]] int num_soft_tiles() const;
+
+  // Logical heap footprint (element counts × element sizes, not allocator
+  // capacity) — deterministic for any thread count, reported as the
+  // mem.tile_graph_bytes gauge.
+  [[nodiscard]] std::int64_t bytes_used() const {
+    return static_cast<std::int64_t>(
+        cell_tile_.size() * sizeof(TileId) + kind_.size() * sizeof(TileKind) +
+        capacity_.size() * sizeof(double) +
+        total_capacity_.size() * sizeof(double) +
+        block_.size() * sizeof(floorplan::BlockId));
+  }
 
   // ASCII rendering of the tile classification (examples/tilegraph_demo).
   [[nodiscard]] std::string render_ascii() const;

@@ -4,6 +4,7 @@
 // byte-identical whether the pipeline runs on 1, 2, or 8 threads.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,8 +20,11 @@ namespace lac::planner {
 namespace {
 
 // Drops every object member whose key mentions wall-clock time ("seconds"
-// span fields, "*_seconds" metric names); all other structure, order and
-// values are preserved.
+// span fields, "*_seconds" metric names) or the resident set ("rss" —
+// machine-dependent, like timings); all other structure, order and values
+// are preserved.  Span allocation deltas (alloc_bytes etc.) are
+// deliberately KEPT: their thread-count invariance is part of what this
+// test asserts.
 obs::json::Value strip_times(const obs::json::Value& v) {
   obs::json::Value out = v;
   out.array.clear();
@@ -28,6 +32,7 @@ obs::json::Value strip_times(const obs::json::Value& v) {
   for (const auto& e : v.array) out.array.push_back(strip_times(e));
   for (const auto& [key, val] : v.object) {
     if (key.find("seconds") != std::string::npos) continue;
+    if (key.find("rss") != std::string::npos) continue;
     out.object.emplace_back(key, strip_times(val));
   }
   return out;
@@ -110,6 +115,19 @@ void expect_identical(const Snapshot& a, const Snapshot& b,
   EXPECT_EQ(a.report, b.report);
 }
 
+// The mem.* gauges from a stripped report (rss readings are already
+// stripped as machine-dependent).
+std::map<std::string, double> mem_gauges(const std::string& report) {
+  std::map<std::string, double> out;
+  const auto doc = obs::json::parse(report);
+  if (!doc.has_value()) return out;
+  if (const auto* g = doc->at_path({"metrics", "gauges"});
+      g != nullptr && g->is_object())
+    for (const auto& [k, v] : g->object)
+      if (k.rfind("mem.", 0) == 0) out.emplace(k, v.num);
+  return out;
+}
+
 class Determinism : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(Determinism, IdenticalAcrossThreadCounts) {
@@ -135,6 +153,9 @@ TEST_P(Determinism, WarmSolverMatchesColdSolver) {
                  " threads");
     const Snapshot cold = run_plan(circuit, w, /*incremental=*/false);
     expect_identical_results(warm.res, cold.res);
+    // Logical-size memory gauges must agree too: the MCF network gauge is
+    // sampled at construction, before warm and cold solves diverge.
+    EXPECT_EQ(mem_gauges(warm.report), mem_gauges(cold.report));
   }
 }
 

@@ -83,4 +83,48 @@ run_expect(0 ${LACOBS} diff ${WORK_DIR}/stripped.json ${REGRESS})
 run_expect(0 ${LACOBS} summary ${REGRESS})
 run_expect(0 ${LACOBS} summary ${BASELINE} ${REGRESS})
 
+set(V2 "${DATA_DIR}/mini_v2.json")
+
+# summary warns on stderr when the report dropped root spans.
+execute_process(COMMAND ${LACOBS} summary ${V2}
+  RESULT_VARIABLE result OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "summary on v2 fixture failed: ${err}")
+endif()
+if(NOT err MATCHES "dropped")
+  message(FATAL_ERROR "summary did not warn about dropped spans:\n${err}")
+endif()
+
+# top: span tables by self time and, for v2 input, by self allocation;
+# bad counts are usage errors, missing input exits 66.
+run_expect(0 ${LACOBS} top ${BASELINE})
+run_expect(64 ${LACOBS} top ${BASELINE} -n 0)
+run_expect(64 ${LACOBS} top ${BASELINE} -n notanumber)
+run_expect(64 ${LACOBS} top)
+run_expect(66 ${LACOBS} top ${WORK_DIR}/does_not_exist.json)
+execute_process(COMMAND ${LACOBS} top ${V2} -n 3
+  RESULT_VARIABLE result OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT result EQUAL 0 OR NOT out MATCHES "by self allocation")
+  message(FATAL_ERROR "top on v2 fixture lacks the allocation table:\n${out}")
+endif()
+
+# mem: per-span memory table plus mem.* gauges; --per-gate needs roots
+# with a cells annotation (the v1 fixture has none -> exit 66).
+run_expect(0 ${LACOBS} mem ${V2})
+run_expect(0 ${LACOBS} mem ${V2} --per-gate)
+run_expect(0 ${LACOBS} mem ${BASELINE})
+run_expect(66 ${LACOBS} mem ${BASELINE} --per-gate)
+run_expect(64 ${LACOBS} mem ${V2} --bogus)
+run_expect(64 ${LACOBS} mem)
+execute_process(COMMAND ${LACOBS} mem ${V2}
+  RESULT_VARIABLE result OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT result EQUAL 0 OR NOT out MATCHES "mem.wd_bytes")
+  message(FATAL_ERROR "mem output lacks the gauge table:\n${out}")
+endif()
+
+# --span-cap: malformed or negative values are usage errors.
+run_expect(64 ${TABLE1} --span-cap -1)
+run_expect(64 ${TABLE1} --span-cap notanumber)
+run_expect(64 ${TABLE1} --span-cap)
+
 message(STATUS "lacobs CLI contract ok")

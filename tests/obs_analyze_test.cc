@@ -133,5 +133,59 @@ TEST(AnalyzeTest, TraceFromReportAndHasTimes) {
   EXPECT_TRUE(trace_from_report(*json::parse("{}")).empty());
 }
 
+TEST(AnalyzeTest, V1SpansParseWithoutMemoryData) {
+  // A v1 report has no per-span memory fields; parsing must succeed and
+  // aggregation must not pretend any memory data exists.
+  const auto report = json::parse(R"({
+    "schema": "lac-obs-report/1",
+    "trace": [{"name": "a", "seconds": 1.0}]
+  })");
+  ASSERT_TRUE(report.has_value());
+  const auto roots = trace_from_report(*report);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_FALSE(roots[0].mem_valid);
+  const auto stats = aggregate_spans(roots);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].has_mem);
+  EXPECT_EQ(stats[0].alloc_bytes, 0);
+}
+
+TEST(AnalyzeTest, V2SpanMemoryRoundTripsAndSelfAllocSubtractsChildren) {
+  const auto report = json::parse(R"({
+    "schema": "lac-obs-report/2",
+    "trace": [
+      {"name": "parent", "seconds": 1.0, "alloc_bytes": 1000,
+       "freed_bytes": 400, "peak_live_bytes": 700,
+       "children": [
+         {"name": "kid", "seconds": 0.5, "alloc_bytes": 300,
+          "freed_bytes": 100, "peak_live_bytes": 250}
+       ]}
+    ]
+  })");
+  ASSERT_TRUE(report.has_value());
+  const auto roots = trace_from_report(*report);
+  ASSERT_EQ(roots.size(), 1u);
+  const SpanNode& parent = roots[0];
+  ASSERT_TRUE(parent.mem_valid);
+  EXPECT_EQ(parent.alloc_bytes, 1000);
+  EXPECT_EQ(parent.freed_bytes, 400);
+  EXPECT_EQ(parent.peak_live_bytes, 700);
+  EXPECT_EQ(self_alloc_bytes(parent), 700);  // 1000 - kid's 300
+
+  const auto stats = aggregate_spans(roots);
+  ASSERT_EQ(stats.size(), 2u);
+  for (const SpanStats& s : stats) {
+    EXPECT_TRUE(s.has_mem);
+    if (s.name == "parent") {
+      EXPECT_EQ(s.alloc_bytes, 1000);
+      EXPECT_EQ(s.self_alloc_bytes, 700);
+      EXPECT_EQ(s.peak_live_bytes, 700);
+    } else {
+      EXPECT_EQ(s.name, "kid");
+      EXPECT_EQ(s.self_alloc_bytes, 300);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lac::obs

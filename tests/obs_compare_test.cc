@@ -292,5 +292,93 @@ TEST(CompareTest, TimingNamePredicate) {
   EXPECT_FALSE(is_timing_name("lac.round_n_foa"));
 }
 
+TEST(CompareTest, NoisyNamePredicate) {
+  EXPECT_TRUE(is_noisy_name("mcf.solve_seconds"));   // timing
+  EXPECT_TRUE(is_noisy_name("mem.peak_rss_bytes"));  // OS-level reading
+  EXPECT_FALSE(is_noisy_name("mem.wd_bytes"));       // logical size
+  EXPECT_FALSE(is_noisy_name("mcf.augmentations"));
+}
+
+// A v2 report on top of the v1 base: span memory deltas, mem.* gauges
+// and the metrics.memory section.
+json::Value v2_report() {
+  json::Value r = base_report();
+  const_cast<json::Value*>(r.at_path({"schema"}))->str = "lac-obs-report/2";
+  auto& plan = const_cast<json::Value*>(r.at_path({"trace"}))->array[0];
+  plan.object.emplace_back("alloc_bytes", json::Value::of(4096));
+  plan.object.emplace_back("freed_bytes", json::Value::of(1024));
+  plan.object.emplace_back("peak_live_bytes", json::Value::of(3072));
+  auto& gauges =
+      const_cast<json::Value*>(r.at_path({"metrics", "gauges"}))->object;
+  gauges.emplace_back("mem.wd_bytes", json::Value::of(123456));
+  gauges.emplace_back("mem.peak_rss_bytes", json::Value::of(9000000));
+  json::Value mem;
+  mem.kind = json::Value::Kind::kObject;
+  mem.object.emplace_back("tracking", json::Value::of(true));
+  mem.object.emplace_back("peak_rss_bytes", json::Value::of(9000000));
+  const_cast<json::Value*>(r.at_path({"metrics"}))
+      ->object.emplace_back("memory", std::move(mem));
+  return r;
+}
+
+TEST(CompareTest, V2AgainstV2IsCleanAndRssIsInformational) {
+  json::Value current = v2_report();
+  // Wildly different RSS and span deltas must not regress: RSS is an OS
+  // reading and span deltas are per-build facts, not gated quantities.
+  const_cast<json::Value*>(
+      current.at_path({"metrics", "gauges", "mem.peak_rss_bytes"}))
+      ->num = 1.0;
+  auto& plan = const_cast<json::Value*>(current.at_path({"trace"}))->array[0];
+  for (auto& [k, v] : plan.object)
+    if (k == "alloc_bytes") v.num = 999999;
+  EXPECT_EQ(diff_reports(v2_report(), current).verdict, Verdict::kOk);
+}
+
+TEST(CompareTest, DeterministicMemGaugeChangeRegresses) {
+  json::Value current = v2_report();
+  const_cast<json::Value*>(
+      current.at_path({"metrics", "gauges", "mem.wd_bytes"}))
+      ->num = 99;
+  const DiffResult res = diff_reports(v2_report(), current);
+  EXPECT_EQ(res.verdict, Verdict::kRegress);
+  bool found = false;
+  for (const DiffEntry& e : res.entries)
+    if (e.name == "mem.wd_bytes") {
+      found = true;
+      EXPECT_EQ(e.verdict, Verdict::kRegress);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(CompareTest, V1BaselineDiffsAgainstV2Report) {
+  // An old baseline parses against a new report; the only complaint is
+  // the new deterministic gauge, pointing at a baseline regen.
+  const DiffResult res = diff_reports(base_report(), v2_report());
+  EXPECT_EQ(res.verdict, Verdict::kRegress);
+  for (const DiffEntry& e : res.entries)
+    if (e.verdict != Verdict::kOk) EXPECT_EQ(e.name, "mem.wd_bytes");
+}
+
+TEST(CompareTest, StripTimesDropsMemoryData) {
+  const json::Value stripped = strip_times(v2_report());
+
+  // Span memory deltas are per-build facts (requested sizes shift with
+  // toolchain upgrades), so the byte-stable baseline drops them.
+  const json::Value* plan = &stripped.find("trace")->array[0];
+  EXPECT_EQ(plan->find("alloc_bytes"), nullptr);
+  EXPECT_EQ(plan->find("freed_bytes"), nullptr);
+  EXPECT_EQ(plan->find("peak_live_bytes"), nullptr);
+
+  // The process-memory section and rss gauges go; deterministic
+  // logical-size gauges stay (they ARE gated).
+  EXPECT_EQ(stripped.at_path({"metrics", "memory"}), nullptr);
+  EXPECT_EQ(stripped.at_path({"metrics", "gauges", "mem.peak_rss_bytes"}),
+            nullptr);
+  EXPECT_NE(stripped.at_path({"metrics", "gauges", "mem.wd_bytes"}), nullptr);
+
+  EXPECT_EQ(json::serialize(strip_times(stripped)),
+            json::serialize(stripped));
+}
+
 }  // namespace
 }  // namespace lac::obs

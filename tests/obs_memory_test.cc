@@ -1,0 +1,174 @@
+// Tests for obs/memory: thread-local byte counters, span deltas, pause
+// scopes, the detach/credit task protocol and the RSS sampler.  Every
+// counting test is skipped on platforms without the glibc new/delete
+// hooks; the RSS tests skip off Linux.
+#include <cstddef>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "obs/memory.h"
+#include "obs/obs.h"
+
+namespace lac::obs::memory {
+namespace {
+
+// Allocation the optimiser cannot elide: the pointer escapes through a
+// global sink before being freed.  Uses the explicit sized delete so the
+// freed bytes are counted (plain `delete[]` on a char array is unsized —
+// see the UnsizedDelete test below).
+void* g_sink = nullptr;
+
+void churn(std::size_t bytes) {
+  void* p = ::operator new(bytes);
+  g_sink = p;
+  ::operator delete(p, bytes);
+}
+
+class MemoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!tracking_available())
+      GTEST_SKIP() << "no global allocation hooks on this platform";
+    if (!tracking_enabled())
+      GTEST_SKIP() << "memory tracking disabled via LAC_OBS_MEM";
+  }
+};
+
+TEST_F(MemoryTest, CountersTrackRequestedSizes) {
+  ScopedEnable on(true);
+  const ThreadCounters before = thread_counters();
+  churn(1 << 12);
+  const ThreadCounters after = thread_counters();
+  // operator new(4096) requests exactly 4096 bytes and the sized delete
+  // frees the same amount — whatever the allocator actually handed out.
+  EXPECT_EQ(after.alloc_bytes - before.alloc_bytes, 1 << 12);
+  EXPECT_EQ(after.freed_bytes - before.freed_bytes, 1 << 12);
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST_F(MemoryTest, UnsizedDeleteCountsZeroFreedBytes) {
+  ScopedEnable on(true);
+  const ThreadCounters before = thread_counters();
+  void* p = ::operator new(1 << 12);
+  g_sink = p;
+  ::operator delete(p);  // unsized: the size cannot be known reliably
+  const ThreadCounters after = thread_counters();
+  EXPECT_EQ(after.alloc_bytes - before.alloc_bytes, 1 << 12);
+  EXPECT_EQ(after.freed_bytes, before.freed_bytes);
+}
+
+TEST_F(MemoryTest, NothingIsCountedWhileObsDisabled) {
+  ScopedEnable off(false);
+  const ThreadCounters before = thread_counters();
+  churn(1 << 12);
+  const ThreadCounters after = thread_counters();
+  EXPECT_EQ(after.alloc_bytes, before.alloc_bytes);
+  EXPECT_EQ(after.freed_bytes, before.freed_bytes);
+}
+
+TEST_F(MemoryTest, PauseScopeSuspendsCountingAndNests) {
+  ScopedEnable on(true);
+  const ThreadCounters before = thread_counters();
+  {
+    PauseScope outer;
+    churn(1 << 10);
+    {
+      PauseScope inner;
+      churn(1 << 10);
+    }
+    churn(1 << 10);  // outer still pauses after inner unwinds
+  }
+  const ThreadCounters mid = thread_counters();
+  EXPECT_EQ(mid.alloc_bytes, before.alloc_bytes);
+  churn(1 << 10);  // fully unwound: counting resumes
+  EXPECT_EQ(thread_counters().alloc_bytes - before.alloc_bytes, 1 << 10);
+}
+
+TEST_F(MemoryTest, SpanDeltaSeesOnlyItsOwnTraffic) {
+  ScopedEnable on(true);
+  churn(1 << 14);  // traffic before the span must not leak in
+  const SpanMark mark = begin_span();
+  churn(1 << 12);
+  const SpanDelta delta = end_span(mark);
+  EXPECT_EQ(delta.alloc_bytes, 1 << 12);
+  EXPECT_EQ(delta.freed_bytes, 1 << 12);
+  // The full array was live inside the span.
+  EXPECT_EQ(delta.peak_live_bytes, 1 << 12);
+}
+
+TEST_F(MemoryTest, PeakIsRelativeToSpanEntryAndNeverNegative) {
+  ScopedEnable on(true);
+  // Leak across the mark, free inside: live dips below the entry level,
+  // so the relative peak clamps at zero.
+  void* held = ::operator new(1 << 12);
+  g_sink = held;
+  const SpanMark mark = begin_span();
+  ::operator delete(held, static_cast<std::size_t>(1 << 12));
+  const SpanDelta delta = end_span(mark);
+  EXPECT_EQ(delta.alloc_bytes, 0);
+  EXPECT_EQ(delta.freed_bytes, 1 << 12);
+  EXPECT_EQ(delta.peak_live_bytes, 0);
+}
+
+TEST_F(MemoryTest, DetachCreditRoundTrip) {
+  ScopedEnable on(true);
+  const ThreadCounters outer_before = thread_counters();
+
+  // A task runs on a detached context, accounting from zero...
+  const Context saved = detach_context();
+  EXPECT_EQ(thread_counters().alloc_bytes, 0);
+  churn(1 << 12);
+  const ThreadCounters task = thread_counters();
+  EXPECT_EQ(task.alloc_bytes, 1 << 12);
+  restore_context(saved);
+
+  // ...and the calling thread sees nothing until the commit credits it.
+  EXPECT_EQ(thread_counters().alloc_bytes, outer_before.alloc_bytes);
+  credit(task.alloc_bytes, task.freed_bytes);
+  const ThreadCounters outer_after = thread_counters();
+  EXPECT_EQ(outer_after.alloc_bytes - outer_before.alloc_bytes, 1 << 12);
+  EXPECT_EQ(outer_after.freed_bytes - outer_before.freed_bytes, 1 << 12);
+}
+
+TEST_F(MemoryTest, DetachZeroesPauseDepthAndRestoreBringsItBack) {
+  ScopedEnable on(true);
+  PauseScope pause;  // the engine may spawn tasks from a paused scope
+  const Context saved = detach_context();
+  const ThreadCounters before = thread_counters();
+  churn(1 << 10);  // the task itself must be counted despite the pause
+  EXPECT_EQ(thread_counters().alloc_bytes - before.alloc_bytes, 1 << 10);
+  restore_context(saved);
+  const ThreadCounters paused = thread_counters();
+  churn(1 << 10);  // restored pause suppresses counting again
+  EXPECT_EQ(thread_counters().alloc_bytes, paused.alloc_bytes);
+}
+
+TEST(MemoryProbeTest, AllocCallsProbeCountsUnconditionally) {
+  if (!tracking_available())
+    GTEST_SKIP() << "no global allocation hooks on this platform";
+  // The probe ignores every gate: obs off, pause on — still counting.
+  ScopedEnable off(false);
+  PauseScope pause;
+  const std::uint64_t before = thread_alloc_calls();
+  churn(64);
+  EXPECT_GT(thread_alloc_calls(), before);
+}
+
+TEST(MemoryRssTest, RssSamplersReportPlausibleValuesOnLinux) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "/proc/self/status is Linux-only";
+#else
+  // Sample cur first: RSS may grow between the two reads, and the
+  // high-water mark is monotonic, so peak-read-later >= cur-read-earlier
+  // holds unconditionally (the reverse order races under memory load).
+  const std::int64_t cur = current_rss_bytes();
+  const std::int64_t peak = peak_rss_bytes();
+  ASSERT_GT(peak, 0);
+  ASSERT_GT(cur, 0);
+  EXPECT_GE(peak, cur);
+#endif
+}
+
+}  // namespace
+}  // namespace lac::obs::memory

@@ -14,31 +14,11 @@
 #include <gtest/gtest.h>
 
 #include "obs/json.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "obs/span.h"
-
-namespace lac::obs {
-namespace {
-
-// Global allocation counter for the no-allocation test.  Counting is
-// toggled by the test to avoid measuring gtest internals.
-std::atomic<long long> g_allocs{0};
-std::atomic<bool> g_count_allocs{false};
-
-}  // namespace
-}  // namespace lac::obs
-
-void* operator new(std::size_t size) {
-  if (lac::obs::g_count_allocs.load(std::memory_order_relaxed))
-    lac::obs::g_allocs.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace lac::obs {
 namespace {
@@ -129,9 +109,10 @@ TEST_F(ObsTest, ScopedEnableRestoresPreviousState) {
 }
 
 TEST_F(ObsTest, DisabledHotPathPerformsNoAllocation) {
+  if (!memory::tracking_available())
+    GTEST_SKIP() << "no global allocation hooks on this platform";
   set_enabled(false);
-  g_allocs.store(0);
-  g_count_allocs.store(true);
+  const std::uint64_t before = memory::thread_alloc_calls();
   for (int i = 0; i < 1000; ++i) {
     Span s("hot");
     s.annotate("k", 1);
@@ -140,9 +121,9 @@ TEST_F(ObsTest, DisabledHotPathPerformsNoAllocation) {
     gauge("g", 1.0);
     observe("h", 0.5);
   }
-  g_count_allocs.store(false);
+  const std::uint64_t after = memory::thread_alloc_calls();
   set_enabled(true);
-  EXPECT_EQ(g_allocs.load(), 0);
+  EXPECT_EQ(after, before);
 }
 
 TEST_F(ObsTest, CountersAccumulate) {
@@ -263,10 +244,14 @@ TEST_F(ObsTest, ReportContainsTraceAndMetrics) {
       render_report("unit", {{"note", json::Value::of("hello")}});
   const auto doc = json::parse(text);
   ASSERT_TRUE(doc.has_value());
-  EXPECT_EQ(doc->find("schema")->str, "lac-obs-report/1");
+  EXPECT_EQ(doc->find("schema")->str, "lac-obs-report/2");
   EXPECT_EQ(doc->find("name")->str, "unit");
   EXPECT_TRUE(doc->find("obs_enabled")->b);
   EXPECT_EQ(doc->at_path({"meta", "note"})->str, "hello");
+  // v2: the metrics block always carries the process-memory section.
+  const auto* tracking = doc->at_path({"metrics", "memory", "tracking"});
+  ASSERT_NE(tracking, nullptr);
+  EXPECT_EQ(tracking->b, memory::tracking_enabled());
 
   const auto* trace = doc->find("trace");
   ASSERT_TRUE(trace && trace->is_array());

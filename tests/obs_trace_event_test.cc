@@ -131,6 +131,38 @@ TEST(TraceEventTest, MetricsBecomeCounterEvents) {
   ASSERT_NE(find_event(doc, "mcf.solve_seconds.sum", "C"), nullptr);
 }
 
+TEST(TraceEventTest, V2MemoryDataBecomesArgsAndCounterTracks) {
+  const auto doc_src = json::parse(R"({
+    "schema": "lac-obs-report/2",
+    "name": "unit",
+    "trace": [
+      {"name": "plan", "seconds": 1.0, "alloc_bytes": 2048,
+       "freed_bytes": 512, "peak_live_bytes": 1536}
+    ],
+    "metrics": {
+      "gauges": {"mem.wd_bytes": 123456},
+      "memory": {"tracking": true, "peak_rss_bytes": 9000000}
+    }
+  })");
+  ASSERT_TRUE(doc_src.has_value());
+  const json::Value doc = to_trace_events(*doc_src);
+
+  // Span memory deltas ride along as slice args.
+  const json::Value* plan = find_event(doc, "plan", "X");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_DOUBLE_EQ(plan->at_path({"args", "alloc_bytes"})->num, 2048.0);
+  EXPECT_DOUBLE_EQ(plan->at_path({"args", "freed_bytes"})->num, 512.0);
+  EXPECT_DOUBLE_EQ(plan->at_path({"args", "peak_live_bytes"})->num, 1536.0);
+
+  // mem.* gauges and the metrics.memory section become counter tracks.
+  const json::Value* g = find_event(doc, "mem.wd_bytes", "C");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->at_path({"args", "value"})->num, 123456.0);
+  const json::Value* rss = find_event(doc, "memory.peak_rss_bytes", "C");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_DOUBLE_EQ(rss->at_path({"args", "value"})->num, 9000000.0);
+}
+
 TEST(TraceEventTest, EmptyReportStillProducesValidDocument) {
   const auto empty = json::parse(R"({"name": "empty"})");
   const json::Value doc = to_trace_events(*empty);

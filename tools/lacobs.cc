@@ -1,4 +1,5 @@
-// lacobs — analysis CLI for lac-obs-report/1 run reports.
+// lacobs — analysis CLI for lac-obs-report/2 run reports (v1 reports,
+// which simply lack the memory fields, are accepted everywhere).
 //
 //   lacobs trace <report.json> [-o out.json]
 //       Convert the report's span tree + metrics into Chrome trace-event
@@ -6,6 +7,15 @@
 //   lacobs summary <report.json...>
 //       Aggregate per-span-name table (count/total/self/min/max/mean)
 //       across all given reports, the critical chain, and the counters.
+//       Warns on stderr when the reports dropped root spans.
+//   lacobs top <report.json...> [-n N]
+//       Hotspot view: the N span names with the largest self time, and —
+//       when the reports carry memory data — the N with the largest self
+//       allocation.
+//   lacobs mem <report.json...> [--per-gate]
+//       Per-span-name memory table (allocated / freed / peak live) plus
+//       the mem.* gauges.  --per-gate divides byte values by the total
+//       cell count from the planner.plan root annotations.
 //   lacobs diff <baseline.json> <report.json> [--time-tol F]
 //         [--time-fail F] [--timings-warn-only] [--min-seconds S]
 //         [--ignore PREFIX]...
@@ -13,11 +23,12 @@
 //       timing warnings, 2 on a regression (deterministic mismatch or a
 //       timing past the fail tier) — CI gates on the exit code.
 //   lacobs strip-times <report.json> [-o out.json]
-//       Copy of the report with wall-clock data removed, for checking in
-//       as a byte-stable baseline.
+//       Copy of the report with wall-clock and memory data removed, for
+//       checking in as a byte-stable baseline.
 //
 // Exit codes: 0 ok · 1 diff warnings · 2 diff regression · 64 usage
 // error · 66 unreadable/unparseable input.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,12 +60,19 @@ void print_usage(std::FILE* to) {
                "\n"
                "commands:\n"
                "  trace <report.json> [-o out.json]\n"
-               "      convert a lac-obs-report/1 file to Chrome "
+               "      convert a lac-obs-report/2 (or /1) file to Chrome "
                "trace-event JSON\n"
                "      (Perfetto / chrome://tracing); stdout by default\n"
                "  summary <report.json...>\n"
                "      aggregate span table, critical chain and counters "
                "across runs\n"
+               "  top <report.json...> [-n N]\n"
+               "      top-N spans by self time and by self allocation "
+               "(default 10)\n"
+               "  mem <report.json...> [--per-gate]\n"
+               "      per-span memory table and mem.* gauges; --per-gate "
+               "normalises\n"
+               "      bytes by the planned cell count\n"
                "  diff <baseline.json> <report.json> [--time-tol F] "
                "[--time-fail F]\n"
                "       [--timings-warn-only] [--min-seconds S] "
@@ -156,26 +174,68 @@ int cmd_strip_times(const std::vector<std::string>& args) {
   return emit(out_path, obs::json::serialize(obs::strip_times(report)));
 }
 
+// Everything top/mem/summary need from a set of reports.  Counters and
+// dropped-span counts sum across reports; gauges keep the per-name max
+// (each report is a separate run, so max is the right aggregate for the
+// mem.* footprint gauges).
+struct LoadedReports {
+  std::vector<obs::SpanNode> roots;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::int64_t dropped_root_spans = 0;
+  int reports = 0;
+};
+
+bool load_many(const std::vector<std::string>& paths, LoadedReports& out) {
+  for (const std::string& path : paths) {
+    obs::json::Value report;
+    if (!load_report(path, report)) return false;
+    for (obs::SpanNode& r : obs::trace_from_report(report))
+      out.roots.push_back(std::move(r));
+    if (const auto* c = report.at_path({"metrics", "counters"});
+        c != nullptr && c->is_object())
+      for (const auto& [k, v] : c->object)
+        if (v.kind == obs::json::Value::Kind::kNumber)
+          out.counters[k] += v.num;
+    if (const auto* g = report.at_path({"metrics", "gauges"});
+        g != nullptr && g->is_object())
+      for (const auto& [k, v] : g->object)
+        if (v.kind == obs::json::Value::Kind::kNumber) {
+          auto [it, fresh] = out.gauges.emplace(k, v.num);
+          if (!fresh && v.num > it->second) it->second = v.num;
+        }
+    if (const auto* d = report.at_path({"dropped_root_spans"});
+        d != nullptr && d->kind == obs::json::Value::Kind::kNumber)
+      out.dropped_root_spans += static_cast<std::int64_t>(d->num);
+    ++out.reports;
+  }
+  return true;
+}
+
+// Shared stderr warning: a nonzero dropped-span count means the span
+// tables undercount whatever was dropped.
+void warn_dropped(const LoadedReports& loaded) {
+  if (loaded.dropped_root_spans <= 0) return;
+  std::fprintf(stderr,
+               "lacobs: warning: %lld root span(s) were dropped by the "
+               "span-store cap;\n"
+               "lacobs: raise it with --span-cap / "
+               "RunControls::max_root_spans for full data\n",
+               static_cast<long long>(loaded.dropped_root_spans));
+}
+
 int cmd_summary(const std::vector<std::string>& args) {
   if (args.empty()) return usage_error("summary: missing report path");
   for (const std::string& a : args)
     if (!a.empty() && a[0] == '-')
       return usage_error("summary: unknown option " + a);
 
-  std::vector<obs::SpanNode> roots;
-  std::map<std::string, double> counters;
-  int reports = 0;
-  for (const std::string& path : args) {
-    obs::json::Value report;
-    if (!load_report(path, report)) return kExitNoInput;
-    for (obs::SpanNode& r : obs::trace_from_report(report))
-      roots.push_back(std::move(r));
-    if (const auto* c = report.at_path({"metrics", "counters"});
-        c != nullptr && c->is_object())
-      for (const auto& [k, v] : c->object)
-        if (v.kind == obs::json::Value::Kind::kNumber) counters[k] += v.num;
-    ++reports;
-  }
+  LoadedReports loaded;
+  if (!load_many(args, loaded)) return kExitNoInput;
+  warn_dropped(loaded);
+  std::vector<obs::SpanNode>& roots = loaded.roots;
+  std::map<std::string, double>& counters = loaded.counters;
+  const int reports = loaded.reports;
 
   std::printf("%d report(s), %zu root span(s)\n\n", reports, roots.size());
 
@@ -207,6 +267,163 @@ int cmd_summary(const std::vector<std::string>& args) {
       table.add_row({k, format_double(v, 0)});
     std::printf("%s\n", table.to_string().c_str());
   }
+  return kExitOk;
+}
+
+// Bytes column: integers as-is; --per-gate averages get one decimal.
+std::string format_bytes(double v, bool per_gate) {
+  return format_double(v, per_gate ? 1 : 0);
+}
+
+int cmd_top(const std::vector<std::string>& args) {
+  long long limit = 10;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-n" || args[i] == "--top") {
+      if (i + 1 >= args.size())
+        return usage_error("top: " + args[i] + " needs a count");
+      char* end = nullptr;
+      limit = std::strtoll(args[i + 1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || end == args[i + 1].c_str() ||
+          limit <= 0)
+        return usage_error("top: bad count '" + args[i + 1] + "'");
+      ++i;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage_error("top: unknown option " + args[i]);
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.empty()) return usage_error("top: missing report path");
+
+  LoadedReports loaded;
+  if (!load_many(paths, loaded)) return kExitNoInput;
+  warn_dropped(loaded);
+
+  auto stats = obs::aggregate_spans(loaded.roots);
+  const std::size_t n =
+      std::min<std::size_t>(stats.size(), static_cast<std::size_t>(limit));
+
+  // By self time (exclusive of children): the actual hotspots, not the
+  // parents that merely contain them.
+  std::sort(stats.begin(), stats.end(),
+            [](const obs::SpanStats& a, const obs::SpanStats& b) {
+              if (a.self_seconds != b.self_seconds)
+                return a.self_seconds > b.self_seconds;
+              return a.name < b.name;
+            });
+  std::printf("top %zu by self time\n", n);
+  TextTable time_table({"#", "span", "count", "self(s)", "total(s)"});
+  for (std::size_t i = 0; i < n; ++i)
+    time_table.add_row({std::to_string(i + 1), stats[i].name,
+                        std::to_string(stats[i].count),
+                        format_double(stats[i].self_seconds, 4),
+                        format_double(stats[i].total_seconds, 4)});
+  std::printf("%s\n", time_table.to_string().c_str());
+
+  bool any_mem = false;
+  for (const obs::SpanStats& s : stats) any_mem |= s.has_mem;
+  if (!any_mem) {
+    std::printf("no span memory data (v1 report or LAC_OBS_MEM off)\n");
+    return kExitOk;
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const obs::SpanStats& a, const obs::SpanStats& b) {
+              if (a.self_alloc_bytes != b.self_alloc_bytes)
+                return a.self_alloc_bytes > b.self_alloc_bytes;
+              return a.name < b.name;
+            });
+  std::printf("top %zu by self allocation\n", n);
+  TextTable mem_table(
+      {"#", "span", "count", "self_alloc(B)", "alloc(B)", "peak_live(B)"});
+  for (std::size_t i = 0; i < n; ++i)
+    mem_table.add_row(
+        {std::to_string(i + 1), stats[i].name, std::to_string(stats[i].count),
+         std::to_string(stats[i].self_alloc_bytes),
+         std::to_string(stats[i].alloc_bytes),
+         std::to_string(stats[i].peak_live_bytes)});
+  std::printf("%s\n", mem_table.to_string().c_str());
+  return kExitOk;
+}
+
+int cmd_mem(const std::vector<std::string>& args) {
+  bool per_gate = false;
+  std::vector<std::string> paths;
+  for (const std::string& a : args) {
+    if (a == "--per-gate") {
+      per_gate = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage_error("mem: unknown option " + a);
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) return usage_error("mem: missing report path");
+
+  LoadedReports loaded;
+  if (!load_many(paths, loaded)) return kExitNoInput;
+  warn_dropped(loaded);
+
+  // --per-gate normalisation: total planned cells, from the `cells`
+  // annotation the planner writes on every planner.plan root span.
+  double gates = 0.0;
+  for (const obs::SpanNode& root : loaded.roots)
+    if (const obs::Annotation* a = root.find_annotation("cells");
+        a != nullptr && a->kind == obs::Annotation::Kind::kInt)
+      gates += static_cast<double>(a->i);
+  if (per_gate && gates <= 0.0) {
+    std::fprintf(stderr,
+                 "lacobs: mem: --per-gate needs planner.plan roots with a "
+                 "'cells' annotation\n");
+    return kExitNoInput;
+  }
+  const double scale = per_gate ? 1.0 / gates : 1.0;
+  const char* unit = per_gate ? "B/gate" : "B";
+
+  const auto stats = obs::aggregate_spans(loaded.roots);
+  bool any_mem = false;
+  for (const obs::SpanStats& s : stats) any_mem |= s.has_mem;
+  if (any_mem) {
+    TextTable table({"span", "count", std::string("alloc(") + unit + ")",
+                     std::string("freed(") + unit + ")",
+                     std::string("self_alloc(") + unit + ")",
+                     std::string("peak_live(") + unit + ")"});
+    for (const obs::SpanStats& s : stats) {
+      if (!s.has_mem) continue;
+      table.add_row(
+          {s.name, std::to_string(s.count),
+           format_bytes(static_cast<double>(s.alloc_bytes) * scale, per_gate),
+           format_bytes(static_cast<double>(s.freed_bytes) * scale, per_gate),
+           format_bytes(static_cast<double>(s.self_alloc_bytes) * scale,
+                        per_gate),
+           format_bytes(static_cast<double>(s.peak_live_bytes) * scale,
+                        per_gate)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  } else {
+    std::printf("no span memory data (v1 report or LAC_OBS_MEM off)\n\n");
+  }
+
+  bool any_gauge = false;
+  for (const auto& [k, v] : loaded.gauges)
+    any_gauge |= k.rfind("mem.", 0) == 0;
+  if (any_gauge) {
+    TextTable table({"gauge", std::string("value(") + unit + ")"});
+    for (const auto& [k, v] : loaded.gauges) {
+      if (k.rfind("mem.", 0) != 0) continue;
+      // RSS is a process-wide OS number; normalising it per gate would
+      // suggest a precision it does not have.
+      const bool rss = k.find("rss") != std::string::npos;
+      table.add_row({rss ? k + " (noisy)" : k,
+                     format_bytes(v * (rss ? 1.0 : scale),
+                                  per_gate && !rss)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  } else {
+    std::printf("no mem.* gauges in the report(s)\n");
+  }
+  if (per_gate)
+    std::printf("normalised by %s gates\n", format_double(gates, 0).c_str());
   return kExitOk;
 }
 
@@ -315,6 +532,8 @@ int main(int argc, char** argv) {
   }
   if (cmd == "trace") return cmd_trace(args);
   if (cmd == "summary") return cmd_summary(args);
+  if (cmd == "top") return cmd_top(args);
+  if (cmd == "mem") return cmd_mem(args);
   if (cmd == "diff") return cmd_diff(args);
   if (cmd == "strip-times") return cmd_strip_times(args);
   return usage_error("unknown command '" + cmd + "'");
