@@ -15,6 +15,7 @@
 
 #include "base/exec_policy.h"
 #include "obs/report.h"
+#include "obs/stream.h"
 
 namespace lac::bench_io {
 
@@ -36,6 +37,10 @@ struct Cli {
   // 0 (flag absent) keeps the default.  Spans beyond the cap are dropped
   // and counted in the report's dropped_root_spans.
   long long span_cap = 0;
+  // --stream PATH (or LAC_OBS_STREAM): append the lac-obs-events/1 event
+  // log here, flushed per event; empty = streaming off.  parse_cli opens
+  // the sink before returning, so the stream covers the whole run.
+  std::string stream;
 
   // The parsed --threads value as an ExecPolicy (deterministic scheduling;
   // results are bitwise-identical for any thread count).
@@ -70,7 +75,15 @@ inline void print_usage(std::FILE* to, const char* tool, bool with_limit) {
                " 0 or unset\n"
                "              keeps the default (4096); dropped spans are"
                " counted in\n"
-               "              dropped_root_spans\n",
+               "              dropped_root_spans\n"
+               "  --stream PATH\n"
+               "              append a live lac-obs-events/1 event log to"
+               " PATH, flushed\n"
+               "              per event (watch with `lacobs tail`, reduce"
+               " with `lacobs\n"
+               "              fold`); LAC_OBS_STREAM sets the same path when"
+               " the flag is\n"
+               "              absent\n",
                tool, with_limit ? " [--limit N]" : "");
   if (with_limit)
     std::fprintf(to,
@@ -132,6 +145,18 @@ inline Cli parse_cli(int argc, char** argv, const char* tool,
       }
       continue;
     }
+    if (arg == "--stream") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --stream needs a path\n", tool);
+        std::exit(64);
+      }
+      cli.stream = argv[++i];
+      if (cli.stream.empty()) {
+        std::fprintf(stderr, "%s: --stream needs a non-empty path\n", tool);
+        std::exit(64);
+      }
+      continue;
+    }
     if (arg == "--lac-incremental") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: --lac-incremental needs on|off\n", tool);
@@ -168,6 +193,19 @@ inline Cli parse_cli(int argc, char** argv, const char* tool,
   if (cli.out_dir != ".") {
     std::error_code ec;
     std::filesystem::create_directories(cli.out_dir, ec);
+  }
+  if (cli.stream.empty()) {
+    if (const char* env = std::getenv("LAC_OBS_STREAM");
+        env != nullptr && env[0] != '\0')
+      cli.stream = env;
+  }
+  if (!cli.stream.empty()) {
+    std::string error;
+    if (!obs::stream::open(cli.stream, tool, &error)) {
+      std::fprintf(stderr, "%s: cannot open event stream: %s\n", tool,
+                   error.c_str());
+      std::exit(73);  // EX_CANTCREAT
+    }
   }
   return cli;
 }

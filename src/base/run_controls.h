@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "base/exec_policy.h"
 #include "obs/obs.h"
@@ -29,6 +30,11 @@ struct RunControls {
   // cap are timed but not retained; the report counts them in
   // dropped_root_spans and `lacobs summary` warns when that is non-zero.
   std::size_t max_root_spans = 4096;
+  // When non-empty, the planner opens the streaming event sink
+  // (obs::stream::open) at this path unless one is already active —
+  // bench drivers (`--stream`, LAC_OBS_STREAM) open it earlier so the
+  // stream covers CLI parsing and input loading too.
+  std::string stream_path;
 };
 
 }  // namespace lac::base

@@ -286,8 +286,6 @@ DiffResult diff_reports(const json::Value& baseline,
   return res;
 }
 
-namespace {
-
 json::Value strip_span_times(const json::Value& span) {
   json::Value out;
   out.kind = json::Value::Kind::kObject;
@@ -310,6 +308,8 @@ json::Value strip_span_times(const json::Value& span) {
   }
   return out;
 }
+
+namespace {
 
 json::Value strip_metrics_times(const json::Value& metrics) {
   json::Value out;

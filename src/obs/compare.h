@@ -98,4 +98,9 @@ struct DiffResult {
 //   * the metrics "memory" section (process facts) is dropped.
 [[nodiscard]] json::Value strip_times(const json::Value& report);
 
+// The per-span half of strip_times: one span object (and its children)
+// minus "seconds" and the allocation deltas.  obs/stream.cc uses it to
+// strip the span trees embedded in `close`/`span` events.
+[[nodiscard]] json::Value strip_span_times(const json::Value& span);
+
 }  // namespace lac::obs

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/obs.h"
+#include "obs/stream.h"
 #include "obs/task.h"
 
 namespace lac::obs {
@@ -111,6 +112,7 @@ void count(const char* name, std::int64_t delta) {
     return;
   }
   Metrics::instance().add_counter(name, delta);
+  if (stream::active()) stream::detail::emit_count(name, delta);
 }
 
 void gauge(const char* name, double value) {
@@ -121,6 +123,7 @@ void gauge(const char* name, double value) {
     return;
   }
   Metrics::instance().set_gauge(name, value);
+  if (stream::active()) stream::detail::emit_gauge(name, value);
 }
 
 void observe(const char* name, double value) {
@@ -131,6 +134,7 @@ void observe(const char* name, double value) {
     return;
   }
   Metrics::instance().observe(name, value);
+  if (stream::active()) stream::detail::emit_observe(name, value);
 }
 
 }  // namespace lac::obs

@@ -8,6 +8,7 @@
 
 #include "obs/memory.h"
 #include "obs/obs.h"
+#include "obs/stream.h"
 
 namespace lac::obs {
 
@@ -49,6 +50,10 @@ json::Value histogram_to_json(const HistogramSnapshot& h) {
 }  // namespace
 
 json::Value span_to_json(const SpanNode& node) {
+  return span_to_json(node, /*include_children=*/true);
+}
+
+json::Value span_to_json(const SpanNode& node, bool include_children) {
   json::Value v;
   v.kind = json::Value::Kind::kObject;
   v.object.emplace_back("name", json::Value::of(node.name));
@@ -66,7 +71,7 @@ json::Value span_to_json(const SpanNode& node) {
       ann.object.emplace_back(a.key, annotation_to_json(a));
     v.object.emplace_back("annotations", std::move(ann));
   }
-  if (!node.children.empty()) {
+  if (include_children && !node.children.empty()) {
     json::Value kids;
     kids.kind = json::Value::Kind::kArray;
     for (const SpanNode& c : node.children)
@@ -74,6 +79,27 @@ json::Value span_to_json(const SpanNode& node) {
     v.object.emplace_back("children", std::move(kids));
   }
   return v;
+}
+
+json::Value metrics_to_json(const Metrics& m) {
+  json::Value metrics;
+  metrics.kind = json::Value::Kind::kObject;
+  json::Value counters;
+  counters.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : m.counters())
+    counters.object.emplace_back(k, json::Value::of(v));
+  metrics.object.emplace_back("counters", std::move(counters));
+  json::Value gauges;
+  gauges.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : m.gauges())
+    gauges.object.emplace_back(k, json::Value::of(v));
+  metrics.object.emplace_back("gauges", std::move(gauges));
+  json::Value hists;
+  hists.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : m.histograms())
+    hists.object.emplace_back(k, histogram_to_json(v));
+  metrics.object.emplace_back("histograms", std::move(hists));
+  return metrics;
 }
 
 json::Value build_report(
@@ -96,37 +122,30 @@ json::Value build_report(
     trace.array.push_back(span_to_json(span));
   root.object.emplace_back("trace", std::move(trace));
 
-  const Metrics& m = Metrics::instance();
-  json::Value metrics;
-  metrics.kind = json::Value::Kind::kObject;
-  json::Value counters;
-  counters.kind = json::Value::Kind::kObject;
-  for (const auto& [k, v] : m.counters())
-    counters.object.emplace_back(k, json::Value::of(v));
-  metrics.object.emplace_back("counters", std::move(counters));
-  json::Value gauges;
-  gauges.kind = json::Value::Kind::kObject;
-  for (const auto& [k, v] : m.gauges())
-    gauges.object.emplace_back(k, json::Value::of(v));
-  metrics.object.emplace_back("gauges", std::move(gauges));
-  json::Value hists;
-  hists.kind = json::Value::Kind::kObject;
-  for (const auto& [k, v] : m.histograms())
-    hists.object.emplace_back(k, histogram_to_json(v));
-  metrics.object.emplace_back("histograms", std::move(hists));
+  json::Value metrics = metrics_to_json(Metrics::instance());
   // Process-level memory facts (v2).  peak_rss_bytes is machine- and
   // scheduling-dependent; compare/strip classify the whole section noisy.
+  const bool mem_tracking = memory::tracking_enabled();
+  const std::int64_t rss = memory::peak_rss_bytes();
   json::Value mem;
   mem.kind = json::Value::Kind::kObject;
-  mem.object.emplace_back("tracking",
-                          json::Value::of(memory::tracking_enabled()));
-  if (const std::int64_t rss = memory::peak_rss_bytes(); rss > 0)
+  mem.object.emplace_back("tracking", json::Value::of(mem_tracking));
+  if (rss > 0)
     mem.object.emplace_back("peak_rss_bytes", json::Value::of(rss));
   metrics.object.emplace_back("memory", std::move(mem));
   root.object.emplace_back("metrics", std::move(metrics));
 
-  root.object.emplace_back("dropped_root_spans",
-                           json::Value::of(dropped_roots()));
+  const std::int64_t dropped = dropped_roots();
+  root.object.emplace_back("dropped_root_spans", json::Value::of(dropped));
+
+  // The stream has no footer of its own: the `end` event is the report
+  // closure, so a streamed run that never reached build_report() folds as
+  // truncated.
+  if (stream::active()) {
+    const json::Value* meta_v = root.find("meta");
+    stream::detail::emit_end(name, meta_v != nullptr ? *meta_v : json::Value{},
+                             enabled(), dropped, mem_tracking, rss);
+  }
   return root;
 }
 

@@ -42,6 +42,19 @@ namespace lac::obs {
 // One span tree as a json::Value (see schema above).
 [[nodiscard]] json::Value span_to_json(const SpanNode& node);
 
+// Same, optionally without the "children" member — obs/stream.cc emits a
+// span's own fields in its `close` event while the children streamed as
+// their own events.
+[[nodiscard]] json::Value span_to_json(const SpanNode& node,
+                                       bool include_children);
+
+// The "counters" / "gauges" / "histograms" sections for an arbitrary
+// registry (the process-wide section of the schema minus "memory", which
+// holds process-level facts).  stream::fold() replays a stream's metric
+// events into a local Metrics and serialises it through this exact
+// function, which is what makes folded and direct reports byte-identical.
+[[nodiscard]] json::Value metrics_to_json(const Metrics& m);
+
 // Snapshot of everything observed so far.  `meta` entries are emitted
 // verbatim under "meta".
 [[nodiscard]] json::Value build_report(

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/obs.h"
+#include "obs/stream.h"
 #include "obs/task.h"
 
 namespace lac::obs {
@@ -66,6 +67,14 @@ Span::Span(std::string_view name) : t0_(std::chrono::steady_clock::now()) {
   node_->name.assign(name);
   parent_ = tl_current;
   tl_current = this;
+  // Live open/close pairs stream only at the global level; spans inside a
+  // task capture arrive as complete trees when the capture commits, which
+  // keeps the event order task-index-deterministic.
+  if (stream::active() && detail::current_task_sink() == nullptr) {
+    stream_id_ = stream::detail::next_span_id();
+    stream::detail::emit_open(
+        stream_id_, parent_ != nullptr ? parent_->stream_id_ : 0, name);
+  }
 }
 
 Span::~Span() {
@@ -78,6 +87,7 @@ Span::~Span() {
     node_->peak_live_bytes = d.peak_live_bytes;
     node_->mem_valid = true;
   }
+  if (stream_id_ != 0) stream::detail::emit_close(stream_id_, *node_);
   if (tl_current == this) tl_current = parent_;
   if (parent_ != nullptr && parent_->node_ != nullptr) {
     parent_->node_->children.push_back(std::move(*node_));

@@ -95,6 +95,11 @@ class Span {
   Span* parent_ = nullptr;    // enclosing recording span on this thread
   bool mem_track_ = false;    // memory tracking was on at construction
   memory::SpanMark mem_mark_;
+  // Event-stream id when this span emitted a live `open` event (spans at
+  // the global level while obs::stream is active); 0 otherwise.  Spans
+  // inside task captures never stream pairs — they arrive as complete
+  // trees when the capture commits.
+  std::int64_t stream_id_ = 0;
 };
 
 // Drains and returns the finished root spans published so far (across all

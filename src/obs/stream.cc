@@ -1,0 +1,749 @@
+#include "obs/stream.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/compare.h"
+#include "obs/memory.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/report.h"
+#include "obs/task.h"
+
+namespace lac::obs::stream {
+
+namespace {
+
+constexpr long long kDefaultHeartbeatMs = 1000;
+
+// Sink state.  g_active is the hot-path switch; everything else is
+// guarded by g_mu.  The heartbeat thread has its own cv/mutex so close()
+// can wake it without holding the file lock.
+std::atomic<bool> g_active{false};
+std::mutex g_mu;
+std::FILE* g_file = nullptr;
+std::chrono::steady_clock::time_point g_t0;
+std::atomic<std::int64_t> g_next_id{0};
+
+std::thread g_hb_thread;
+std::mutex g_hb_mu;
+std::condition_variable g_hb_cv;
+bool g_hb_stop = false;
+
+double rel_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_t0)
+      .count();
+}
+
+long long heartbeat_interval_ms() {
+  const char* env = std::getenv("LAC_OBS_HEARTBEAT_MS");
+  if (env == nullptr || *env == '\0') return kDefaultHeartbeatMs;
+  char* end = nullptr;
+  const long long ms = std::strtoll(env, &end, 10);
+  if (end == nullptr || *end != '\0' || ms < 0) return kDefaultHeartbeatMs;
+  return ms;
+}
+
+// Appends one line (plus newline) and flushes, so the line is in the
+// kernel before the call returns — a SIGKILL never costs more than the
+// event currently being formatted.
+void write_line(std::string_view line) {
+  std::lock_guard lock(g_mu);
+  if (g_file == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), g_file);
+  std::fputc('\n', g_file);
+  std::fflush(g_file);
+}
+
+void emit_heartbeat() {
+  json::Writer w;
+  w.begin_object();
+  w.kv("ev", "hb");
+  w.kv("t", rel_seconds());
+  if (const std::int64_t rss = memory::current_rss_bytes(); rss > 0)
+    w.kv("rss_bytes", rss);
+  if (const std::int64_t peak = memory::peak_rss_bytes(); peak > 0)
+    w.kv("peak_rss_bytes", peak);
+  w.end_object();
+  write_line(w.take());
+}
+
+void heartbeat_main(long long interval_ms) {
+  std::unique_lock lock(g_hb_mu);
+  while (!g_hb_stop) {
+    if (g_hb_cv.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                         [] { return g_hb_stop; }))
+      break;
+    lock.unlock();
+    emit_heartbeat();
+    lock.lock();
+  }
+}
+
+// Splices the members of a serialised JSON object into an event line
+// under construction: serialize(v) is "{...}"; everything after the
+// opening brace (including the closing one) follows a comma.
+void splice_object_members(std::string& line, const json::Value& v) {
+  const std::string body = json::serialize(v);
+  if (body.size() <= 2) {  // "{}": nothing to splice
+    line += '}';
+    return;
+  }
+  line += ',';
+  line.append(body, 1, std::string::npos);
+}
+
+}  // namespace
+
+bool open(const std::string& path, std::string_view run_name,
+          std::string* error) {
+  if (error != nullptr) error->clear();
+  std::lock_guard lock(g_mu);
+  if (g_file != nullptr) {
+    if (error != nullptr) *error = "event stream already open";
+    return false;
+  }
+  const std::filesystem::path fs_path(path);
+  if (const std::filesystem::path parent = fs_path.parent_path();
+      !parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      if (error != nullptr)
+        *error = "cannot create directory " + parent.string() + ": " +
+                 ec.message();
+      return false;
+    }
+  }
+  errno = 0;
+  g_file = std::fopen(path.c_str(), "w");
+  if (g_file == nullptr) {
+    if (error != nullptr)
+      *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  g_t0 = std::chrono::steady_clock::now();
+  g_next_id.store(0, std::memory_order_relaxed);
+
+  json::Writer w;
+  w.begin_object();
+  w.kv("ev", "run");
+  w.kv("schema", kSchema);
+  w.kv("name", run_name);
+  w.kv("unix_ms",
+       static_cast<std::int64_t>(
+           std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+               .count()));
+  w.kv("obs_enabled", enabled());
+  w.kv("mem_tracking", memory::tracking_enabled());
+  w.end_object();
+  const std::string header = w.take();
+  std::fwrite(header.data(), 1, header.size(), g_file);
+  std::fputc('\n', g_file);
+  std::fflush(g_file);
+
+  g_active.store(true, std::memory_order_release);
+
+  const long long interval = heartbeat_interval_ms();
+  if (interval > 0) {
+    std::lock_guard hb_lock(g_hb_mu);
+    g_hb_stop = false;
+    g_hb_thread = std::thread(heartbeat_main, interval);
+  }
+  // Tools leave the sink open for their whole lifetime; retire the
+  // heartbeat thread and flush the file on normal exit (a SIGKILL skips
+  // this, which is exactly the truncated-stream case fold() handles).
+  static const bool at_exit_registered = [] {
+    return std::atexit([] { close(); }) == 0;
+  }();
+  (void)at_exit_registered;
+  return true;
+}
+
+void close() {
+  // Stop the hooks first so no event races the fclose, then retire the
+  // heartbeat thread, then close the file.
+  g_active.store(false, std::memory_order_release);
+  {
+    std::lock_guard hb_lock(g_hb_mu);
+    g_hb_stop = true;
+  }
+  g_hb_cv.notify_all();
+  if (g_hb_thread.joinable()) g_hb_thread.join();
+  std::lock_guard lock(g_mu);
+  if (g_file != nullptr) {
+    std::fclose(g_file);
+    g_file = nullptr;
+  }
+}
+
+bool active() { return g_active.load(std::memory_order_acquire); }
+
+Event::Event(const char* kind) {
+  if (!active() || !enabled()) return;
+  on_ = true;
+  line_.reserve(96);
+  line_ += "{\"ev\":\"";
+  line_ += json::escape(kind);
+  line_ += '"';
+}
+
+Event::~Event() {
+  if (!on_) return;
+  line_ += ",\"t\":";
+  {
+    json::Writer w;
+    w.value(rel_seconds());
+    line_ += w.take();
+  }
+  line_ += '}';
+  detail::emit_line(std::move(line_));
+}
+
+Event& Event::field(const char* key, std::int64_t v) {
+  if (!on_) return *this;
+  line_ += ",\"";
+  line_ += json::escape(key);
+  line_ += "\":";
+  json::Writer w;
+  w.value(v);
+  line_ += w.take();
+  return *this;
+}
+
+Event& Event::field(const char* key, double v) {
+  if (!on_) return *this;
+  line_ += ",\"";
+  line_ += json::escape(key);
+  line_ += "\":";
+  json::Writer w;
+  w.value(v);
+  line_ += w.take();
+  return *this;
+}
+
+Event& Event::field(const char* key, bool v) {
+  if (!on_) return *this;
+  line_ += ",\"";
+  line_ += json::escape(key);
+  line_ += "\":";
+  line_ += v ? "true" : "false";
+  return *this;
+}
+
+Event& Event::field(const char* key, std::string_view v) {
+  if (!on_) return *this;
+  line_ += ",\"";
+  line_ += json::escape(key);
+  line_ += "\":\"";
+  line_ += json::escape(v);
+  line_ += '"';
+  return *this;
+}
+
+namespace detail {
+
+std::int64_t next_span_id() {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void emit_line(std::string&& line) {
+  if (TaskCapture* sink = obs::detail::current_task_sink()) {
+    sink->stream_lines.push_back(std::move(line));
+    return;
+  }
+  write_line(line);
+}
+
+void emit_open(std::int64_t id, std::int64_t parent, std::string_view name) {
+  std::string line;
+  line.reserve(96);
+  line += "{\"ev\":\"open\",\"id\":";
+  line += std::to_string(id);
+  if (parent != 0) {
+    line += ",\"parent\":";
+    line += std::to_string(parent);
+  }
+  line += ",\"t\":";
+  {
+    json::Writer w;
+    w.value(rel_seconds());
+    line += w.take();
+  }
+  line += ",\"name\":\"";
+  line += json::escape(name);
+  line += "\"}";
+  emit_line(std::move(line));
+}
+
+void emit_close(std::int64_t id, const SpanNode& node) {
+  std::string line;
+  line.reserve(192);
+  line += "{\"ev\":\"close\",\"id\":";
+  line += std::to_string(id);
+  line += ",\"t\":";
+  {
+    json::Writer w;
+    w.value(rel_seconds());
+    line += w.take();
+  }
+  // The span's own fields, exactly as span_to_json renders them (children
+  // excluded: they streamed as their own close events) — fold() re-embeds
+  // them verbatim, so the folded report is byte-identical to the direct
+  // one.
+  splice_object_members(line, span_to_json(node, /*include_children=*/false));
+  emit_line(std::move(line));
+}
+
+void emit_tree(const SpanNode& node) {
+  std::string line;
+  line.reserve(256);
+  line += "{\"ev\":\"span\",\"t\":";
+  {
+    json::Writer w;
+    w.value(rel_seconds());
+    line += w.take();
+  }
+  line += ",\"root\":";
+  line += json::serialize(span_to_json(node));
+  line += '}';
+  emit_line(std::move(line));
+}
+
+void emit_count(const char* name, std::int64_t delta) {
+  std::string line;
+  line.reserve(64);
+  line += "{\"ev\":\"count\",\"name\":\"";
+  line += json::escape(name);
+  line += "\",\"delta\":";
+  line += std::to_string(delta);
+  line += '}';
+  emit_line(std::move(line));
+}
+
+void emit_gauge(const char* name, double value) {
+  std::string line;
+  line.reserve(64);
+  line += "{\"ev\":\"gauge\",\"name\":\"";
+  line += json::escape(name);
+  line += "\",\"value\":";
+  json::Writer w;
+  w.value(value);
+  line += w.take();
+  line += '}';
+  emit_line(std::move(line));
+}
+
+void emit_observe(const char* name, double value) {
+  std::string line;
+  line.reserve(64);
+  line += "{\"ev\":\"observe\",\"name\":\"";
+  line += json::escape(name);
+  line += "\",\"value\":";
+  json::Writer w;
+  w.value(value);
+  line += w.take();
+  line += '}';
+  emit_line(std::move(line));
+}
+
+void emit_end(std::string_view name, const json::Value& meta,
+              bool obs_enabled, std::int64_t dropped_root_spans,
+              bool mem_tracking, std::int64_t peak_rss_bytes) {
+  std::string line;
+  line.reserve(192);
+  line += "{\"ev\":\"end\",\"t\":";
+  {
+    json::Writer w;
+    w.value(rel_seconds());
+    line += w.take();
+  }
+  line += ",\"name\":\"";
+  line += json::escape(name);
+  line += "\",\"obs_enabled\":";
+  line += obs_enabled ? "true" : "false";
+  line += ",\"meta\":";
+  line += json::serialize(meta);
+  line += ",\"dropped_root_spans\":";
+  line += std::to_string(dropped_root_spans);
+  line += ",\"mem_tracking\":";
+  line += mem_tracking ? "true" : "false";
+  if (peak_rss_bytes > 0) {
+    line += ",\"peak_rss_bytes\":";
+    line += std::to_string(peak_rss_bytes);
+  }
+  line += '}';
+  emit_line(std::move(line));
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Folding: stream -> lac-obs-report/2.
+
+namespace {
+
+const json::Value* find_string(const json::Value& v, std::string_view key) {
+  const json::Value* f = v.find(key);
+  return f != nullptr && f->kind == json::Value::Kind::kString ? f : nullptr;
+}
+
+double number_or(const json::Value& v, std::string_view key, double fallback) {
+  const json::Value* f = v.find(key);
+  return f != nullptr && f->kind == json::Value::Kind::kNumber ? f->num
+                                                               : fallback;
+}
+
+bool bool_or(const json::Value& v, std::string_view key, bool fallback) {
+  const json::Value* f = v.find(key);
+  return f != nullptr && f->kind == json::Value::Kind::kBool ? f->b : fallback;
+}
+
+// A span opened (open event seen) but not yet closed.
+struct OpenSpan {
+  std::string name;
+  std::int64_t parent = 0;
+  std::vector<json::Value> children;  // closed children, completion order
+};
+
+struct FoldState {
+  std::string run_name = "stream";
+  bool run_obs_enabled = false;
+  bool run_mem_tracking = false;
+  std::int64_t hb_peak_rss = 0;
+
+  std::map<std::int64_t, OpenSpan> open;  // keyed by id (ascending)
+  std::vector<json::Value> trace;         // roots since the last end event
+  Metrics metrics;  // local registry replaying count/gauge/observe events
+
+  json::Value last_report;  // complete report from the last end event
+  bool end_seen = false;
+  std::int64_t events_after_end = 0;
+
+  json::Value metrics_json(bool mem_tracking,
+                           std::int64_t peak_rss_bytes) const {
+    json::Value m = metrics_to_json(metrics);
+    json::Value mem;
+    mem.kind = json::Value::Kind::kObject;
+    mem.object.emplace_back("tracking", json::Value::of(mem_tracking));
+    if (peak_rss_bytes > 0)
+      mem.object.emplace_back("peak_rss_bytes",
+                              json::Value::of(peak_rss_bytes));
+    m.object.emplace_back("memory", std::move(mem));
+    return m;
+  }
+};
+
+void fold_close(FoldState& st, const json::Value& ev) {
+  const std::int64_t id =
+      static_cast<std::int64_t>(number_or(ev, "id", 0.0));
+  // The span's own fields are everything but the envelope, in
+  // span_to_json order; closed children collected so far are appended
+  // last, exactly where span_to_json puts them.
+  json::Value node;
+  node.kind = json::Value::Kind::kObject;
+  for (const auto& [k, v] : ev.object) {
+    if (k == "ev" || k == "id" || k == "t") continue;
+    node.object.emplace_back(k, v);
+  }
+  std::int64_t parent = 0;
+  if (const auto it = st.open.find(id); it != st.open.end()) {
+    parent = it->second.parent;
+    if (!it->second.children.empty()) {
+      json::Value kids;
+      kids.kind = json::Value::Kind::kArray;
+      kids.array = std::move(it->second.children);
+      node.object.emplace_back("children", std::move(kids));
+    }
+    st.open.erase(it);
+  }
+  if (parent != 0) {
+    if (const auto pit = st.open.find(parent); pit != st.open.end()) {
+      pit->second.children.push_back(std::move(node));
+      return;
+    }
+  }
+  st.trace.push_back(std::move(node));
+}
+
+void fold_end(FoldState& st, const json::Value& ev) {
+  json::Value report;
+  report.kind = json::Value::Kind::kObject;
+  report.object.emplace_back("schema",
+                             json::Value::of("lac-obs-report/2"));
+  const json::Value* name = find_string(ev, "name");
+  report.object.emplace_back(
+      "name", json::Value::of(name != nullptr ? std::string_view(name->str)
+                                              : std::string_view("stream")));
+  report.object.emplace_back(
+      "obs_enabled",
+      json::Value::of(bool_or(ev, "obs_enabled", st.run_obs_enabled)));
+  if (const json::Value* meta = ev.find("meta");
+      meta != nullptr && meta->is_object()) {
+    report.object.emplace_back("meta", *meta);
+  } else {
+    json::Value empty;
+    empty.kind = json::Value::Kind::kObject;
+    report.object.emplace_back("meta", std::move(empty));
+  }
+  json::Value trace;
+  trace.kind = json::Value::Kind::kArray;
+  trace.array = std::move(st.trace);
+  st.trace.clear();
+  report.object.emplace_back("trace", std::move(trace));
+  report.object.emplace_back(
+      "metrics",
+      st.metrics_json(
+          bool_or(ev, "mem_tracking", st.run_mem_tracking),
+          static_cast<std::int64_t>(number_or(ev, "peak_rss_bytes", 0.0))));
+  report.object.emplace_back(
+      "dropped_root_spans",
+      json::Value::of(
+          static_cast<std::int64_t>(number_or(ev, "dropped_root_spans", 0.0))));
+  st.last_report = std::move(report);
+  st.end_seen = true;
+  st.events_after_end = 0;
+}
+
+// Synthesizes report spans for the spans still open at truncation, each
+// marked with an "unclosed" annotation.  Children opened later than their
+// parents, so walking ids in descending order folds leaves into parents
+// before the parents themselves are synthesized.
+void append_unclosed(FoldState& st) {
+  std::vector<json::Value> roots;
+  while (!st.open.empty()) {
+    auto it = std::prev(st.open.end());
+    json::Value node;
+    node.kind = json::Value::Kind::kObject;
+    node.object.emplace_back("name", json::Value::of(it->second.name));
+    json::Value ann;
+    ann.kind = json::Value::Kind::kObject;
+    ann.object.emplace_back("unclosed", json::Value::of(true));
+    node.object.emplace_back("annotations", std::move(ann));
+    if (!it->second.children.empty()) {
+      json::Value kids;
+      kids.kind = json::Value::Kind::kArray;
+      kids.array = std::move(it->second.children);
+      node.object.emplace_back("children", std::move(kids));
+    }
+    const std::int64_t parent = it->second.parent;
+    st.open.erase(it);
+    if (parent != 0) {
+      if (const auto pit = st.open.find(parent); pit != st.open.end()) {
+        pit->second.children.push_back(std::move(node));
+        continue;
+      }
+    }
+    roots.push_back(std::move(node));
+  }
+  // Unclosed roots were collected deepest-first; restore open (id) order.
+  for (auto rit = roots.rbegin(); rit != roots.rend(); ++rit)
+    st.trace.push_back(std::move(*rit));
+}
+
+}  // namespace
+
+std::optional<FoldResult> fold(std::string_view text) {
+  FoldState st;
+  FoldResult res;
+  bool tail_partial = false;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    const bool has_newline = nl != std::string_view::npos;
+    if (!has_newline) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = has_newline ? nl + 1 : text.size();
+    if (line.empty()) continue;
+
+    const std::optional<json::Value> parsed = json::parse(line);
+    if (!parsed || !parsed->is_object()) {
+      ++res.skipped_lines;
+      if (!has_newline || pos >= text.size()) tail_partial = true;
+      continue;
+    }
+    const json::Value& ev = *parsed;
+    const json::Value* kind = find_string(ev, "ev");
+    if (kind == nullptr) {
+      ++res.skipped_lines;
+      continue;
+    }
+    ++res.events;
+    const std::string& k = kind->str;
+    // A heartbeat can land between build_report()'s `end` and close();
+    // it carries no run data, so it must not demote the stream to
+    // truncated.
+    if (st.end_seen && k != "hb") ++st.events_after_end;
+    if (k == "run") {
+      if (const json::Value* n = find_string(ev, "name"))
+        st.run_name = n->str;
+      st.run_obs_enabled = bool_or(ev, "obs_enabled", false);
+      st.run_mem_tracking = bool_or(ev, "mem_tracking", false);
+    } else if (k == "open") {
+      OpenSpan s;
+      if (const json::Value* n = find_string(ev, "name")) s.name = n->str;
+      s.parent = static_cast<std::int64_t>(number_or(ev, "parent", 0.0));
+      st.open[static_cast<std::int64_t>(number_or(ev, "id", 0.0))] =
+          std::move(s);
+    } else if (k == "close") {
+      fold_close(st, ev);
+    } else if (k == "span") {
+      if (const json::Value* root = ev.find("root");
+          root != nullptr && root->is_object())
+        st.trace.push_back(*root);
+    } else if (k == "count") {
+      if (const json::Value* n = find_string(ev, "name"))
+        st.metrics.add_counter(
+            n->str, static_cast<std::int64_t>(number_or(ev, "delta", 0.0)));
+    } else if (k == "gauge") {
+      if (const json::Value* n = find_string(ev, "name"))
+        st.metrics.set_gauge(n->str, number_or(ev, "value", 0.0));
+    } else if (k == "observe") {
+      if (const json::Value* n = find_string(ev, "name"))
+        st.metrics.observe(n->str, number_or(ev, "value", 0.0));
+    } else if (k == "hb") {
+      if (const double peak = number_or(ev, "peak_rss_bytes", 0.0); peak > 0)
+        st.hb_peak_rss = static_cast<std::int64_t>(peak);
+    } else if (k == "end") {
+      fold_end(st, ev);
+    }
+    // Unknown kinds (future schema growth, `round` progress) fold to
+    // nothing: the report carries only what the report schema knows.
+  }
+
+  if (res.events == 0) return std::nullopt;
+
+  if (st.end_seen && st.events_after_end == 0 && !tail_partial &&
+      st.open.empty() && st.trace.empty()) {
+    res.report = std::move(st.last_report);
+    res.truncated = false;
+    return res;
+  }
+
+  // Forensic (truncated) report: whatever closed plus the spans cut off
+  // mid-flight, with the metric state at the moment the stream stopped.
+  res.truncated = true;
+  append_unclosed(st);
+  json::Value report;
+  report.kind = json::Value::Kind::kObject;
+  report.object.emplace_back("schema", json::Value::of("lac-obs-report/2"));
+  report.object.emplace_back("name", json::Value::of(st.run_name));
+  report.object.emplace_back("obs_enabled",
+                             json::Value::of(st.run_obs_enabled));
+  json::Value meta;
+  meta.kind = json::Value::Kind::kObject;
+  report.object.emplace_back("meta", std::move(meta));
+  json::Value trace;
+  trace.kind = json::Value::Kind::kArray;
+  trace.array = std::move(st.trace);
+  report.object.emplace_back("trace", std::move(trace));
+  report.object.emplace_back(
+      "metrics", st.metrics_json(st.run_mem_tracking, st.hb_peak_rss));
+  report.object.emplace_back("dropped_root_spans", json::Value::of(0));
+  report.object.emplace_back("truncated", json::Value::of(true));
+  res.report = std::move(report);
+  return res;
+}
+
+std::optional<FoldResult> fold_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return fold(buf.str());
+}
+
+// ---------------------------------------------------------------------------
+// Stripping: remove everything time- or machine-dependent.
+
+namespace {
+
+constexpr std::string_view kNoisyEventKeys[] = {
+    "t",           "unix_ms",         "seconds",
+    "alloc_bytes", "freed_bytes",     "peak_live_bytes",
+    "rss_bytes",   "peak_rss_bytes",
+};
+
+bool is_noisy_event_key(std::string_view key) {
+  for (const std::string_view k : kNoisyEventKeys)
+    if (key == k) return true;
+  return false;
+}
+
+}  // namespace
+
+std::string strip_stream(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+
+    const std::optional<json::Value> parsed = json::parse(line);
+    if (!parsed || !parsed->is_object()) {
+      // Not an event (partial tail): keep verbatim so truncation stays
+      // visible in the stripped form.
+      out.append(line);
+      out += '\n';
+      continue;
+    }
+    const json::Value* kind = find_string(*parsed, "ev");
+    const std::string k = kind != nullptr ? kind->str : std::string();
+    if (k == "hb") continue;  // pure-time events vanish entirely
+    if (k == "gauge") {
+      if (const json::Value* n = find_string(*parsed, "name");
+          n != nullptr && is_noisy_name(n->str))
+        continue;  // rss/timing gauges are per-run noise
+    }
+    const bool noisy_observe = [&] {
+      if (k != "observe") return false;
+      const json::Value* n = find_string(*parsed, "name");
+      return n != nullptr && is_noisy_name(n->str);
+    }();
+
+    json::Value stripped;
+    stripped.kind = json::Value::Kind::kObject;
+    for (const auto& [key, v] : parsed->object) {
+      if (is_noisy_event_key(key)) continue;
+      if (noisy_observe && key == "value") continue;  // count still compares
+      if (key == "root" && v.is_object()) {
+        stripped.object.emplace_back(key, strip_span_times(v));
+        continue;
+      }
+      if (k == "end" && key == "meta" && v.is_object()) {
+        json::Value meta;
+        meta.kind = json::Value::Kind::kObject;
+        for (const auto& [mk, mv] : v.object)
+          if (!is_noisy_name(mk)) meta.object.emplace_back(mk, mv);
+        stripped.object.emplace_back(key, std::move(meta));
+        continue;
+      }
+      stripped.object.emplace_back(key, v);
+    }
+    out += json::serialize(stripped);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lac::obs::stream

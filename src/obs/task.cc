@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/stream.h"
 
 namespace lac::obs {
 
@@ -58,6 +59,10 @@ void commit_task_capture(TaskCapture&& capture) {
   // Replaying through the public entry points routes into the enclosing
   // capture when loops nest, and into the global store/registry otherwise.
   memory::credit(capture.alloc_bytes, capture.freed_bytes);
+  // Stream lines first: emit_line re-buffers them when an enclosing
+  // capture is installed, so nested loops drain in outer-task order too.
+  for (std::string& line : capture.stream_lines)
+    stream::detail::emit_line(std::move(line));
   for (MetricEvent& e : capture.events) {
     switch (e.kind) {
       case MetricEvent::Kind::kCount:
@@ -71,7 +76,13 @@ void commit_task_capture(TaskCapture&& capture) {
         break;
     }
   }
-  for (SpanNode& r : capture.roots) detail::publish_root(std::move(r));
+  for (SpanNode& r : capture.roots) {
+    // At the global level a committed task root streams as one complete
+    // `span` tree — the deterministic analogue of the open/close pairs
+    // global-level spans emit live.
+    if (stream::active() && tl_sink == nullptr) stream::detail::emit_tree(r);
+    detail::publish_root(std::move(r));
+  }
   capture = {};
 }
 

@@ -44,12 +44,16 @@ struct MetricEvent {
 struct TaskCapture {
   std::vector<SpanNode> roots;
   std::vector<MetricEvent> events;
+  // Pre-rendered obs::stream event lines (stream::Event emitted inside the
+  // task); replayed before the metric events so custom events precede the
+  // metric updates of the same task, matching inline emission order.
+  std::vector<std::string> stream_lines;
   std::int64_t alloc_bytes = 0;
   std::int64_t freed_bytes = 0;
 
   [[nodiscard]] bool empty() const {
-    return roots.empty() && events.empty() && alloc_bytes == 0 &&
-           freed_bytes == 0;
+    return roots.empty() && events.empty() && stream_lines.empty() &&
+           alloc_bytes == 0 && freed_bytes == 0;
   }
 };
 

@@ -10,6 +10,7 @@
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/stream.h"
 #include "partition/fm.h"
 #include "retime/collapse.h"
 #include "retime/min_area.h"
@@ -85,6 +86,11 @@ PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
   if (config_.run.observability != obs::Override::kEnv)
     obs_override.emplace(config_.run.observability == obs::Override::kOn);
   obs::set_max_root_spans(config_.run.max_root_spans);
+  // Embedders (planner-as-a-service) reach the event stream through
+  // RunControls; bench drivers normally opened the sink in parse_cli, in
+  // which case this is a no-op.
+  if (!config_.run.stream_path.empty() && !obs::stream::active())
+    (void)obs::stream::open(config_.run.stream_path, "planner.plan");
   obs::Span span("planner.plan");
   span.annotate("circuit", nl.name());
   span.annotate("cells", nl.num_cells());

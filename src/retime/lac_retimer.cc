@@ -6,6 +6,7 @@
 #include "base/check.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/stream.h"
 #include "retime/min_area.h"
 #include "retime/weighted_min_area_solver.h"
 
@@ -130,6 +131,19 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
     obs::count("lac.rounds");
     obs::observe("lac.round_seconds", rs.solve_seconds);
     obs::observe("lac.round_n_foa", static_cast<double>(rs.n_foa));
+    {
+      // Per-round progress for `lacobs tail`: the long inner loop a live
+      // watcher actually wants to see converge.
+      obs::stream::Event ev("round");
+      ev.field("round", rs.round)
+          .field("n_foa", rs.n_foa)
+          .field("n_f", rs.n_f)
+          .field("best_n_foa", rs.best_n_foa)
+          .field("max_overflow", rs.max_overflow)
+          .field("improved", rs.improved)
+          .field("warm", rs.warm)
+          .field("seconds", rs.solve_seconds);
+    }
     rounds.push_back(rs);
 
     if (rep.n_foa == 0) break;                 // all tiles fit — done

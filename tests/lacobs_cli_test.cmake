@@ -127,4 +127,111 @@ run_expect(64 ${TABLE1} --span-cap -1)
 run_expect(64 ${TABLE1} --span-cap notanumber)
 run_expect(64 ${TABLE1} --span-cap)
 
+# --stream: needs a path (the happy path runs a suite, exercised by the
+# CI smoke job and obs_stream_test, not here).
+run_expect(64 ${TABLE1} --stream)
+
+# fold / strip-stream / tail over a hand-written lac-obs-events/1 stream.
+set(STREAM "${WORK_DIR}/mini_stream.jsonl")
+file(WRITE "${STREAM}" [[{"ev":"run","schema":"lac-obs-events/1","name":"mini","unix_ms":1,"obs_enabled":true,"mem_tracking":false}
+{"ev":"open","id":1,"t":0.1,"name":"planner.plan"}
+{"ev":"count","name":"mcf.augmentations","delta":5}
+{"ev":"round","round":1,"n_foa":9,"n_f":12,"best_n_foa":9,"max_overflow":0,"improved":true,"warm":false,"seconds":0.05}
+{"ev":"close","id":1,"t":0.3,"name":"planner.plan","seconds":0.2}
+{"ev":"end","t":0.4,"name":"mini","obs_enabled":true,"meta":{},"dropped_root_spans":0,"mem_tracking":false}
+]])
+
+# A complete stream folds to a report the other subcommands accept.
+run_expect(0 ${LACOBS} fold ${STREAM} -o ${WORK_DIR}/folded.json)
+file(READ "${WORK_DIR}/folded.json" folded_text)
+if(folded_text MATCHES "\"truncated\"")
+  message(FATAL_ERROR "complete stream folded as truncated:\n${folded_text}")
+endif()
+run_expect(0 ${LACOBS} summary ${WORK_DIR}/folded.json)
+run_expect(0 ${LACOBS} diff ${WORK_DIR}/folded.json ${WORK_DIR}/folded.json)
+
+# A killed run's prefix still folds (exit 0) but carries the truncation
+# marker; event-free text exits 66; missing operands are usage errors.
+file(WRITE "${WORK_DIR}/killed_stream.jsonl" [[{"ev":"run","schema":"lac-obs-events/1","name":"mini","unix_ms":1,"obs_enabled":true,"mem_tracking":false}
+{"ev":"open","id":1,"t":0.1,"name":"planner.plan"}
+{"ev":"count","name":"mcf.augmen]])
+run_expect(0 ${LACOBS} fold ${WORK_DIR}/killed_stream.jsonl
+  -o ${WORK_DIR}/killed_report.json)
+file(READ "${WORK_DIR}/killed_report.json" killed_text)
+if(NOT killed_text MATCHES "\"truncated\":true")
+  message(FATAL_ERROR "partial stream lacks truncation marker:\n${killed_text}")
+endif()
+run_expect(0 ${LACOBS} summary ${WORK_DIR}/killed_report.json)
+file(WRITE "${WORK_DIR}/not_a_stream.jsonl" "not json\n")
+run_expect(66 ${LACOBS} fold ${WORK_DIR}/not_a_stream.jsonl)
+run_expect(66 ${LACOBS} fold ${WORK_DIR}/does_not_exist.jsonl)
+run_expect(64 ${LACOBS} fold)
+
+# strip-stream removes every wall-clock field so streams from different
+# thread counts / machines can be compared bytewise.
+run_expect(0 ${LACOBS} strip-stream ${STREAM} -o ${WORK_DIR}/stripped.jsonl)
+file(READ "${WORK_DIR}/stripped.jsonl" sstream_text)
+if(sstream_text MATCHES "\"t\":" OR sstream_text MATCHES "\"unix_ms\":")
+  message(FATAL_ERROR "strip-stream left wall-clock data:\n${sstream_text}")
+endif()
+run_expect(64 ${LACOBS} strip-stream)
+run_expect(66 ${LACOBS} strip-stream ${WORK_DIR}/does_not_exist.jsonl)
+
+# tail --once renders a single snapshot of stage progress.
+execute_process(COMMAND ${LACOBS} tail ${STREAM} --once
+  RESULT_VARIABLE result OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT result EQUAL 0 OR NOT out MATCHES "planner.plan")
+  message(FATAL_ERROR "tail --once did not render the stage table:\n${out}\n${err}")
+endif()
+run_expect(64 ${LACOBS} tail)
+run_expect(64 ${LACOBS} tail ${STREAM} --bogus)
+run_expect(64 ${LACOBS} tail ${STREAM} --interval notanumber)
+run_expect(66 ${LACOBS} tail ${WORK_DIR}/does_not_exist.jsonl --once)
+
+# diff --json emits a machine-readable lac-obs-diff/1 document with the
+# same exit codes as the table form.
+execute_process(COMMAND ${LACOBS} diff ${BASELINE} ${BASELINE} --json
+  RESULT_VARIABLE result OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT result EQUAL 0 OR NOT out MATCHES "lac-obs-diff/1"
+   OR NOT out MATCHES "\"verdict\":\"ok\"")
+  message(FATAL_ERROR "diff --json self-diff malformed:\n${out}\n${err}")
+endif()
+execute_process(COMMAND ${LACOBS} diff ${BASELINE} ${REGRESS} --json
+  RESULT_VARIABLE result OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT result EQUAL 2 OR NOT out MATCHES "\"verdict\":\"regress\"")
+  message(FATAL_ERROR "diff --json regress malformed (exit ${result}):\n${out}")
+endif()
+
+# Forward compatibility: a report from a newer schema generation loads
+# best-effort with a stderr warning, never a crash.
+file(WRITE "${WORK_DIR}/future_report.json" [[{"schema":"lac-obs-report/3","name":"future","obs_enabled":true,"meta":{},"trace":[{"name":"planner.plan","seconds":0.1,"children":[]}],"metrics":{"counters":{"lac.rounds":1},"gauges":{},"histograms":{}},"dropped_root_spans":0}]])
+execute_process(COMMAND ${LACOBS} summary ${WORK_DIR}/future_report.json
+  RESULT_VARIABLE result OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT result EQUAL 0)
+  message(FATAL_ERROR "summary crashed on a newer report schema: ${err}")
+endif()
+if(NOT err MATCHES "upgrade")
+  message(FATAL_ERROR "summary did not warn about the newer schema:\n${err}")
+endif()
+
+# history-add appends compact per-run records; history renders the trend.
+set(HISTORY "${WORK_DIR}/history.jsonl")
+run_expect(0 ${LACOBS} history-add ${WORK_DIR}/folded.json
+  --file ${HISTORY} --commit 0123456789abcdef --seconds 1.5)
+run_expect(0 ${LACOBS} history-add ${WORK_DIR}/folded.json
+  --file ${HISTORY} --commit fedcba9876543210 --seconds 1.6)
+execute_process(COMMAND ${LACOBS} history ${HISTORY}
+  RESULT_VARIABLE result OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT result EQUAL 0 OR NOT out MATCHES "0123456789"
+   OR NOT out MATCHES "delta%")
+  message(FATAL_ERROR "history trend view malformed:\n${out}\n${err}")
+endif()
+run_expect(0 ${LACOBS} history ${HISTORY} -n 1)
+run_expect(64 ${LACOBS} history ${HISTORY} -n 0)
+run_expect(64 ${LACOBS} history-add)
+run_expect(64 ${LACOBS} history-add ${WORK_DIR}/folded.json --seconds bogus)
+run_expect(66 ${LACOBS} history ${WORK_DIR}/does_not_exist.jsonl)
+run_expect(66 ${LACOBS} history-add ${WORK_DIR}/does_not_exist.json
+  --file ${HISTORY})
+
 message(STATUS "lacobs CLI contract ok")

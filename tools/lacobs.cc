@@ -25,16 +25,42 @@
 //   lacobs strip-times <report.json> [-o out.json]
 //       Copy of the report with wall-clock and memory data removed, for
 //       checking in as a byte-stable baseline.
+//   lacobs fold <stream.jsonl> [-o out.json]
+//       Reduce a lac-obs-events/1 stream — complete or truncated — into a
+//       lac-obs-report/2 document every other command accepts.  A killed
+//       run's partial stream folds to a forensic report marked
+//       "truncated": true (warning on stderr).
+//   lacobs tail <stream.jsonl> [--once] [--interval MS]
+//       Follow a live event stream: per-stage progress table (done /
+//       running / ETA from completed same-name spans), latest LAC round,
+//       and RSS.  --once renders a single snapshot; otherwise refreshes
+//       until the run's `end` event arrives.
+//   lacobs history [history.jsonl] [-n N]
+//       One-screen trend view of the perf-gate history (default
+//       bench/history/history.jsonl): per-run wall time with deltas and
+//       the recorded metrics, newest last.
+//   lacobs history-add <report.json> --file <history.jsonl>
+//         [--commit SHA] [--seconds S]
+//       Append one compact record (commit, wall time, key lac./mcf.
+//       counters and mcf./mem. gauges) to the history file — the CI
+//       perf-gate calls this after every gate run.
 //
 // Exit codes: 0 ok · 1 diff warnings · 2 diff regression · 64 usage
 // error · 66 unreadable/unparseable input.
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <system_error>
+#include <thread>
 #include <vector>
 
 #include "base/str_util.h"
@@ -42,6 +68,7 @@
 #include "obs/analyze.h"
 #include "obs/compare.h"
 #include "obs/json.h"
+#include "obs/stream.h"
 #include "obs/trace_event.h"
 
 namespace {
@@ -76,15 +103,43 @@ void print_usage(std::FILE* to) {
                "  diff <baseline.json> <report.json> [--time-tol F] "
                "[--time-fail F]\n"
                "       [--timings-warn-only] [--min-seconds S] "
-               "[--ignore PREFIX]...\n"
+               "[--ignore PREFIX]... [--json]\n"
                "      compare against a baseline; exit 0 ok, 1 warnings, "
                "2 regression\n"
                "      --ignore skips counters/gauges/histograms/spans whose "
                "name starts\n"
                "      with PREFIX (repeatable; for cross-config comparisons)\n"
+               "      --json prints a machine-readable lac-obs-diff/1 "
+               "verdict instead\n"
+               "      of the table (same exit code)\n"
                "  strip-times <report.json> [-o out.json]\n"
                "      drop wall-clock data so the report can serve as a "
                "CI baseline\n"
+               "  fold <stream.jsonl> [-o out.json]\n"
+               "      reduce a lac-obs-events/1 stream (complete or "
+               "truncated) into a\n"
+               "      lac-obs-report/2 document; a killed run's partial "
+               "stream folds to\n"
+               "      a forensic report with \"truncated\": true\n"
+               "  strip-stream <stream.jsonl> [-o out.jsonl]\n"
+               "      drop every time/RSS field and heartbeat from a "
+               "stream; two runs\n"
+               "      of the same work strip to identical text at any "
+               "thread count\n"
+               "  tail <stream.jsonl> [--once] [--interval MS]\n"
+               "      follow a live event stream: per-stage progress/ETA "
+               "table, latest\n"
+               "      LAC round and RSS; --once renders one snapshot, "
+               "otherwise\n"
+               "      refreshes (default every 500 ms) until the run ends\n"
+               "  history [history.jsonl] [-n N]\n"
+               "      trend view of the perf-gate history (default\n"
+               "      bench/history/history.jsonl), newest last\n"
+               "  history-add <report.json> --file <history.jsonl> "
+               "[--commit SHA]\n"
+               "       [--seconds S]\n"
+               "      append one compact per-run record to the history "
+               "file (CI)\n"
                "  help | --help | -h\n");
 }
 
@@ -94,8 +149,18 @@ int usage_error(const std::string& msg) {
   return kExitUsage;
 }
 
+// The report's "schema" string ("lac-obs-report/2"), or "?" when absent.
+std::string report_schema(const obs::json::Value& report) {
+  const obs::json::Value* s = report.find("schema");
+  if (s == nullptr || s->kind != obs::json::Value::Kind::kString) return "?";
+  return s->str;
+}
+
 // Loads and parses a report, exiting the command with kExitNoInput via
-// the returned flag when it cannot be read.
+// the returned flag when it cannot be read.  Reports from a *newer*
+// schema generation (lac-obs-report/N, N >= 3) load with a warning
+// rather than failing: old tools keep working on whatever subset of the
+// document they understand.
 bool load_report(const std::string& path, obs::json::Value& out) {
   auto doc = obs::json::parse_file(path);
   if (!doc) {
@@ -103,6 +168,20 @@ bool load_report(const std::string& path, obs::json::Value& out) {
     return false;
   }
   out = std::move(*doc);
+  const std::string schema = report_schema(out);
+  constexpr std::string_view kPrefix = "lac-obs-report/";
+  if (schema.rfind(kPrefix, 0) == 0) {
+    char* end = nullptr;
+    const long long gen = std::strtoll(schema.c_str() + kPrefix.size(),
+                                       &end, 10);
+    if (end != nullptr && *end == '\0' && gen >= 3)
+      std::fprintf(stderr,
+                   "lacobs: warning: %s has schema %s, newer than this "
+                   "tool understands;\n"
+                   "lacobs: parsing best-effort — upgrade lacobs for full "
+                   "fidelity\n",
+                   path.c_str(), schema.c_str());
+  }
   return true;
 }
 
@@ -182,6 +261,7 @@ struct LoadedReports {
   std::vector<obs::SpanNode> roots;
   std::map<std::string, double> counters;
   std::map<std::string, double> gauges;
+  std::vector<std::string> schemas;  // unique, first-seen order
   std::int64_t dropped_root_spans = 0;
   int reports = 0;
 };
@@ -190,6 +270,10 @@ bool load_many(const std::vector<std::string>& paths, LoadedReports& out) {
   for (const std::string& path : paths) {
     obs::json::Value report;
     if (!load_report(path, report)) return false;
+    if (const std::string schema = report_schema(report);
+        std::find(out.schemas.begin(), out.schemas.end(), schema) ==
+        out.schemas.end())
+      out.schemas.push_back(schema);
     for (obs::SpanNode& r : obs::trace_from_report(report))
       out.roots.push_back(std::move(r));
     if (const auto* c = report.at_path({"metrics", "counters"});
@@ -237,7 +321,13 @@ int cmd_summary(const std::vector<std::string>& args) {
   std::map<std::string, double>& counters = loaded.counters;
   const int reports = loaded.reports;
 
-  std::printf("%d report(s), %zu root span(s)\n\n", reports, roots.size());
+  std::string schemas;
+  for (const std::string& s : loaded.schemas) {
+    if (!schemas.empty()) schemas += ", ";
+    schemas += s;
+  }
+  std::printf("%d report(s), %zu root span(s), schema %s\n\n", reports,
+              roots.size(), schemas.c_str());
 
   const auto stats = obs::aggregate_spans(roots);
   if (!stats.empty()) {
@@ -429,6 +519,7 @@ int cmd_mem(const std::vector<std::string>& args) {
 
 int cmd_diff(const std::vector<std::string>& args) {
   obs::DiffOptions opts;
+  bool as_json = false;
   std::string baseline_path, report_path;
   const auto double_flag = [&](std::size_t& i, double& out,
                                std::string& err) {
@@ -458,6 +549,8 @@ int cmd_diff(const std::vector<std::string>& args) {
         return usage_error("diff: " + err);
     } else if (args[i] == "--timings-warn-only") {
       opts.timings_warn_only = true;
+    } else if (args[i] == "--json") {
+      as_json = true;
     } else if (args[i] == "--ignore") {
       if (i + 1 >= args.size())
         return usage_error("diff: --ignore needs a value");
@@ -497,6 +590,46 @@ int cmd_diff(const std::vector<std::string>& args) {
                ? format_double(v, 0)
                : format_double(v, 4);
   };
+  if (as_json) {
+    // Machine-readable verdict (lac-obs-diff/1): overall verdict, per-class
+    // counts, and every non-ok entry — the CI gate annotates failures from
+    // this instead of scraping the table.
+    obs::json::Writer w;
+    w.begin_object();
+    w.kv("schema", "lac-obs-diff/1");
+    w.kv("baseline", baseline_path);
+    w.kv("report", report_path);
+    w.kv("verdict", obs::verdict_name(res.verdict));
+    w.key("counts");
+    w.begin_object();
+    w.kv("ok", res.count(obs::Verdict::kOk));
+    w.kv("warn", res.count(obs::Verdict::kWarn));
+    w.kv("regress", res.count(obs::Verdict::kRegress));
+    w.end_object();
+    w.kv("comparisons", static_cast<std::int64_t>(res.entries.size()));
+    w.key("entries");
+    w.begin_array();
+    for (const obs::DiffEntry& e : res.entries) {
+      if (e.verdict == obs::Verdict::kOk) continue;
+      w.begin_object();
+      w.kv("verdict", obs::verdict_name(e.verdict));
+      w.kv("kind", kind_name(e.kind));
+      w.kv("name", e.name);
+      w.kv("baseline", e.baseline);
+      w.kv("current", e.current);
+      w.kv("note", e.note);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.take().c_str());
+    switch (res.verdict) {
+      case obs::Verdict::kOk: return kExitOk;
+      case obs::Verdict::kWarn: return kExitWarn;
+      case obs::Verdict::kRegress: return kExitRegress;
+    }
+    return kExitRegress;
+  }
   bool any = false;
   TextTable table({"verdict", "kind", "name", "baseline", "current", "note"});
   for (const obs::DiffEntry& e : res.entries) {
@@ -519,6 +652,458 @@ int cmd_diff(const std::vector<std::string>& args) {
   return kExitRegress;
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int cmd_strip_stream(const std::vector<std::string>& args) {
+  std::string stream_path, out_path, err;
+  if (!parse_report_and_output(args, stream_path, out_path, err))
+    return usage_error("strip-stream: " + err);
+  std::string text;
+  if (!read_file(stream_path, text)) {
+    std::fprintf(stderr, "lacobs: cannot read %s\n", stream_path.c_str());
+    return kExitNoInput;
+  }
+  std::string stripped = obs::stream::strip_stream(text);
+  // emit() appends one newline; the stripped stream already ends with one.
+  if (!stripped.empty() && stripped.back() == '\n') stripped.pop_back();
+  return emit(out_path, stripped);
+}
+
+int cmd_fold(const std::vector<std::string>& args) {
+  std::string stream_path, out_path, err;
+  if (!parse_report_and_output(args, stream_path, out_path, err))
+    return usage_error("fold: " + err);
+  const auto folded = obs::stream::fold_file(stream_path);
+  if (!folded) {
+    std::fprintf(stderr, "lacobs: cannot read %s or it contains no events\n",
+                 stream_path.c_str());
+    return kExitNoInput;
+  }
+  if (folded->truncated)
+    std::fprintf(stderr,
+                 "lacobs: warning: stream is truncated (killed run?): "
+                 "folded %lld event(s),\n"
+                 "lacobs: skipped %lld unparseable line(s); report is "
+                 "marked \"truncated\": true\n",
+                 static_cast<long long>(folded->events),
+                 static_cast<long long>(folded->skipped_lines));
+  return emit(out_path, obs::json::serialize(folded->report));
+}
+
+// ---------------------------------------------------------------------------
+// tail: live progress from a stream.
+
+// Per-stage aggregate over the events seen so far.
+struct TailStage {
+  long long done = 0;
+  double total_seconds = 0.0;
+  long long running = 0;
+  double oldest_open_t = 0.0;  // open time of the longest-running instance
+};
+
+struct TailState {
+  std::string run_name;
+  std::map<std::string, TailStage> stages;
+  std::map<std::int64_t, std::pair<std::string, double>> open;  // id->name,t
+  double last_t = 0.0;
+  long long rss_bytes = 0;
+  std::string round_line;
+  long long events = 0;
+  bool end_seen = false;
+};
+
+void tail_add_tree(TailState& st, const obs::json::Value& span) {
+  const obs::json::Value* name = span.find("name");
+  if (name != nullptr && name->kind == obs::json::Value::Kind::kString) {
+    TailStage& stage = st.stages[name->str];
+    ++stage.done;
+    if (const obs::json::Value* s = span.find("seconds");
+        s != nullptr && s->kind == obs::json::Value::Kind::kNumber)
+      stage.total_seconds += s->num;
+  }
+  if (const obs::json::Value* kids = span.find("children");
+      kids != nullptr && kids->is_array())
+    for (const obs::json::Value& c : kids->array)
+      if (c.is_object()) tail_add_tree(st, c);
+}
+
+TailState tail_parse(const std::string& text) {
+  TailState st;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line =
+        std::string_view(text).substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    const auto parsed = obs::json::parse(line);
+    if (!parsed || !parsed->is_object()) continue;
+    const obs::json::Value& ev = *parsed;
+    const obs::json::Value* kind = ev.find("ev");
+    if (kind == nullptr || kind->kind != obs::json::Value::Kind::kString)
+      continue;
+    ++st.events;
+    if (const obs::json::Value* t = ev.find("t");
+        t != nullptr && t->kind == obs::json::Value::Kind::kNumber)
+      st.last_t = std::max(st.last_t, t->num);
+    const std::string& k = kind->str;
+    const auto num = [&](const char* key, double fallback) {
+      const obs::json::Value* v = ev.find(key);
+      return v != nullptr && v->kind == obs::json::Value::Kind::kNumber
+                 ? v->num
+                 : fallback;
+    };
+    if (k == "run") {
+      if (const obs::json::Value* n = ev.find("name");
+          n != nullptr && n->kind == obs::json::Value::Kind::kString)
+        st.run_name = n->str;
+    } else if (k == "open") {
+      const obs::json::Value* n = ev.find("name");
+      if (n != nullptr && n->kind == obs::json::Value::Kind::kString)
+        st.open[static_cast<std::int64_t>(num("id", 0.0))] = {n->str,
+                                                              num("t", 0.0)};
+    } else if (k == "close") {
+      const std::int64_t id = static_cast<std::int64_t>(num("id", 0.0));
+      st.open.erase(id);
+      if (const obs::json::Value* n = ev.find("name");
+          n != nullptr && n->kind == obs::json::Value::Kind::kString) {
+        TailStage& stage = st.stages[n->str];
+        ++stage.done;
+        stage.total_seconds += num("seconds", 0.0);
+      }
+    } else if (k == "span") {
+      if (const obs::json::Value* root = ev.find("root");
+          root != nullptr && root->is_object())
+        tail_add_tree(st, *root);
+    } else if (k == "hb") {
+      if (const double rss = num("rss_bytes", 0.0); rss > 0)
+        st.rss_bytes = static_cast<long long>(rss);
+    } else if (k == "round") {
+      st.round_line =
+          "LAC round " + format_double(num("round", 0.0), 0) +
+          ": n_foa=" + format_double(num("n_foa", 0.0), 0) +
+          " best=" + format_double(num("best_n_foa", 0.0), 0) +
+          " overflow=" + format_double(num("max_overflow", 0.0), 2);
+      const obs::json::Value* improved = ev.find("improved");
+      if (improved != nullptr &&
+          improved->kind == obs::json::Value::Kind::kBool && improved->b)
+        st.round_line += " (improved)";
+    } else if (k == "end") {
+      st.end_seen = true;
+    }
+  }
+  // Spans still open count as running for their stage.
+  for (const auto& [id, name_t] : st.open) {
+    TailStage& stage = st.stages[name_t.first];
+    ++stage.running;
+    if (stage.running == 1 || name_t.second < stage.oldest_open_t)
+      stage.oldest_open_t = name_t.second;
+  }
+  return st;
+}
+
+void tail_render(const TailState& st) {
+  std::printf("--- %s  t=%ss  events=%lld%s\n",
+              st.run_name.empty() ? "(stream)" : st.run_name.c_str(),
+              format_double(st.last_t, 1).c_str(), st.events,
+              st.end_seen ? "  [finished]" : "");
+  if (st.rss_bytes > 0)
+    std::printf("rss: %s MB\n",
+                format_double(static_cast<double>(st.rss_bytes) / 1048576.0,
+                              1)
+                    .c_str());
+  if (!st.round_line.empty()) std::printf("%s\n", st.round_line.c_str());
+  if (st.stages.empty()) {
+    std::printf("(no span events yet)\n");
+    return;
+  }
+  // Largest total time first; one-screen cap.
+  std::vector<std::pair<std::string, TailStage>> rows(st.stages.begin(),
+                                                      st.stages.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.total_seconds != b.second.total_seconds)
+      return a.second.total_seconds > b.second.total_seconds;
+    return a.first < b.first;
+  });
+  if (rows.size() > 15) rows.resize(15);
+  TextTable table({"stage", "done", "mean(s)", "running", "eta(s)"});
+  for (const auto& [name, s] : rows) {
+    const double mean =
+        s.done > 0 ? s.total_seconds / static_cast<double>(s.done) : 0.0;
+    // ETA of the longest-running open instance, from the mean of finished
+    // instances of the same stage; "?" without history.
+    std::string eta = "-";
+    if (s.running > 0)
+      eta = s.done > 0 ? format_double(std::max(
+                             0.0, mean - (st.last_t - s.oldest_open_t)),
+                                       1)
+                       : "?";
+    table.add_row({name, std::to_string(s.done),
+                   s.done > 0 ? format_double(mean, 4) : "-",
+                   std::to_string(s.running), eta});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+int cmd_tail(const std::vector<std::string>& args) {
+  std::string path;
+  bool once = false;
+  long long interval_ms = 500;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--once") {
+      once = true;
+    } else if (args[i] == "--interval") {
+      if (i + 1 >= args.size())
+        return usage_error("tail: --interval needs a millisecond count");
+      char* end = nullptr;
+      interval_ms = std::strtoll(args[i + 1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || end == args[i + 1].c_str() ||
+          interval_ms <= 0)
+        return usage_error("tail: bad --interval value '" + args[i + 1] +
+                           "'");
+      ++i;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage_error("tail: unknown option " + args[i]);
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      return usage_error("tail: unexpected argument " + args[i]);
+    }
+  }
+  if (path.empty()) return usage_error("tail: missing stream path");
+
+  std::string text;
+  long long last_events = -1;
+  while (true) {
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "lacobs: cannot read %s\n", path.c_str());
+      return kExitNoInput;
+    }
+    const TailState st = tail_parse(text);
+    // Re-render only when something new arrived (first pass always).
+    if (st.events != last_events) {
+      tail_render(st);
+      last_events = st.events;
+    }
+    if (once || st.end_seen) return kExitOk;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// history: the perf-gate trend file (bench/history/history.jsonl).
+
+constexpr const char* kDefaultHistoryPath = "bench/history/history.jsonl";
+
+int cmd_history_add(const std::vector<std::string>& args) {
+  std::string report_path, file_path, commit = "unknown";
+  double seconds = -1.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--file") {
+      if (i + 1 >= args.size())
+        return usage_error("history-add: --file needs a path");
+      file_path = args[++i];
+    } else if (args[i] == "--commit") {
+      if (i + 1 >= args.size())
+        return usage_error("history-add: --commit needs a value");
+      commit = args[++i];
+    } else if (args[i] == "--seconds") {
+      if (i + 1 >= args.size())
+        return usage_error("history-add: --seconds needs a value");
+      char* end = nullptr;
+      seconds = std::strtod(args[i + 1].c_str(), &end);
+      if (end == nullptr || *end != '\0' || seconds < 0.0)
+        return usage_error("history-add: bad --seconds value '" +
+                           args[i + 1] + "'");
+      ++i;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage_error("history-add: unknown option " + args[i]);
+    } else if (report_path.empty()) {
+      report_path = args[i];
+    } else {
+      return usage_error("history-add: unexpected argument " + args[i]);
+    }
+  }
+  if (report_path.empty())
+    return usage_error("history-add: missing report path");
+  if (file_path.empty()) file_path = kDefaultHistoryPath;
+
+  obs::json::Value report;
+  if (!load_report(report_path, report)) return kExitNoInput;
+
+  // The compact record: solver-effort counters and logical-memory gauges
+  // are the per-commit trend the gate cares about.  One flat "metrics"
+  // object keeps the file greppable.
+  obs::json::Writer w;
+  w.begin_object();
+  w.kv("commit", commit);
+  w.kv("unix_ms",
+       static_cast<std::int64_t>(
+           std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+               .count()));
+  if (seconds >= 0.0) w.kv("seconds", seconds);
+  w.key("metrics");
+  w.begin_object();
+  const auto keep = [](const std::string& name, bool gauge_section) {
+    if (gauge_section)
+      return name.rfind("mcf.", 0) == 0 || name.rfind("mem.", 0) == 0;
+    return name.rfind("mcf.", 0) == 0 || name.rfind("lac.", 0) == 0;
+  };
+  if (const auto* c = report.at_path({"metrics", "counters"});
+      c != nullptr && c->is_object())
+    for (const auto& [k, v] : c->object)
+      if (v.kind == obs::json::Value::Kind::kNumber && keep(k, false))
+        w.kv(k, v.num);
+  if (const auto* g = report.at_path({"metrics", "gauges"});
+      g != nullptr && g->is_object())
+    for (const auto& [k, v] : g->object)
+      if (v.kind == obs::json::Value::Kind::kNumber && keep(k, true))
+        w.kv(k, v.num);
+  w.end_object();
+  w.end_object();
+
+  if (const std::filesystem::path parent =
+          std::filesystem::path(file_path).parent_path();
+      !parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out(file_path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "lacobs: cannot append to %s\n", file_path.c_str());
+    return kExitNoInput;
+  }
+  out << w.take() << '\n';
+  if (!out) {
+    std::fprintf(stderr, "lacobs: short write to %s\n", file_path.c_str());
+    return kExitNoInput;
+  }
+  std::printf("history: appended %s to %s\n", commit.c_str(),
+              file_path.c_str());
+  return kExitOk;
+}
+
+int cmd_history(const std::vector<std::string>& args) {
+  std::string path;
+  long long limit = 12;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-n") {
+      if (i + 1 >= args.size())
+        return usage_error("history: -n needs a count");
+      char* end = nullptr;
+      limit = std::strtoll(args[i + 1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || end == args[i + 1].c_str() ||
+          limit <= 0)
+        return usage_error("history: bad -n value '" + args[i + 1] + "'");
+      ++i;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage_error("history: unknown option " + args[i]);
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      return usage_error("history: unexpected argument " + args[i]);
+    }
+  }
+  if (path.empty()) path = kDefaultHistoryPath;
+
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "lacobs: cannot read %s\n", path.c_str());
+    return kExitNoInput;
+  }
+  std::vector<obs::json::Value> records;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string_view line =
+        std::string_view(text).substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (auto parsed = obs::json::parse(line); parsed && parsed->is_object())
+      records.push_back(std::move(*parsed));
+  }
+  if (records.empty()) {
+    std::fprintf(stderr, "lacobs: no history records in %s\n", path.c_str());
+    return kExitNoInput;
+  }
+  const std::size_t start =
+      records.size() > static_cast<std::size_t>(limit)
+          ? records.size() - static_cast<std::size_t>(limit)
+          : 0;
+
+  // Columns: the newest record's metrics define the trend keys (older
+  // records missing one show "-"); capped for one-screen width.
+  std::vector<std::string> keys;
+  if (const obs::json::Value* m = records.back().find("metrics");
+      m != nullptr && m->is_object())
+    for (const auto& [k, v] : m->object) {
+      if (keys.size() >= 5) break;
+      keys.push_back(k);
+    }
+  std::vector<std::string> header = {"commit", "when", "seconds", "delta%"};
+  header.insert(header.end(), keys.begin(), keys.end());
+  TextTable table(header);
+  double prev_seconds = -1.0;
+  for (std::size_t i = start; i < records.size(); ++i) {
+    const obs::json::Value& r = records[i];
+    std::string commit = "?";
+    if (const obs::json::Value* c = r.find("commit");
+        c != nullptr && c->kind == obs::json::Value::Kind::kString)
+      commit = c->str.size() > 10 ? c->str.substr(0, 10) : c->str;
+    std::string when = "-";
+    if (const obs::json::Value* t = r.find("unix_ms");
+        t != nullptr && t->kind == obs::json::Value::Kind::kNumber) {
+      const std::time_t secs = static_cast<std::time_t>(t->num / 1000.0);
+      std::tm tm_utc{};
+      if (gmtime_r(&secs, &tm_utc) != nullptr) {
+        char buf[32];
+        std::strftime(buf, sizeof buf, "%Y-%m-%d %H:%M", &tm_utc);
+        when = buf;
+      }
+    }
+    std::string secs_str = "-", delta = "-";
+    if (const obs::json::Value* s = r.find("seconds");
+        s != nullptr && s->kind == obs::json::Value::Kind::kNumber) {
+      secs_str = format_double(s->num, 2);
+      if (prev_seconds > 0.0)
+        delta = format_double((s->num - prev_seconds) / prev_seconds * 100.0,
+                              1);
+      prev_seconds = s->num;
+    }
+    std::vector<std::string> row = {commit, when, secs_str, delta};
+    const obs::json::Value* m = r.find("metrics");
+    for (const std::string& k : keys) {
+      const obs::json::Value* v =
+          m != nullptr && m->is_object() ? m->find(k) : nullptr;
+      row.push_back(v != nullptr &&
+                            v->kind == obs::json::Value::Kind::kNumber
+                        ? format_double(v->num,
+                                        v->num ==
+                                                static_cast<double>(
+                                                    static_cast<long long>(
+                                                        v->num))
+                                            ? 0
+                                            : 2)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%zu record(s) in %s (showing %zu)\n%s", records.size(),
+              path.c_str(), records.size() - start,
+              table.to_string().c_str());
+  return kExitOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -536,5 +1121,10 @@ int main(int argc, char** argv) {
   if (cmd == "mem") return cmd_mem(args);
   if (cmd == "diff") return cmd_diff(args);
   if (cmd == "strip-times") return cmd_strip_times(args);
+  if (cmd == "fold") return cmd_fold(args);
+  if (cmd == "strip-stream") return cmd_strip_stream(args);
+  if (cmd == "tail") return cmd_tail(args);
+  if (cmd == "history") return cmd_history(args);
+  if (cmd == "history-add") return cmd_history_add(args);
   return usage_error("unknown command '" + cmd + "'");
 }
