@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <utility>
@@ -41,6 +43,12 @@ struct Cli {
   // log here, flushed per event; empty = streaming off.  parse_cli opens
   // the sink before returning, so the stream covers the whole run.
   std::string stream;
+  // --eco FILE (tools that accept it): an ECO journal, one edit per line
+  // (see docs/ECO.md).  parse_cli reads the file (missing -> exit 66,
+  // EX_NOINPUT); the *content* is validated by the tool, which exits 64
+  // on a malformed journal.  Empty path = flag absent.
+  std::string eco_path;
+  std::string eco_journal;
 
   // The parsed --threads value as an ExecPolicy (deterministic scheduling;
   // results are bitwise-identical for any thread count).
@@ -51,7 +59,8 @@ struct Cli {
   }
 };
 
-inline void print_usage(std::FILE* to, const char* tool, bool with_limit) {
+inline void print_usage(std::FILE* to, const char* tool, bool with_limit,
+                        bool with_eco = false) {
   std::fprintf(to,
                "usage: %s [out_dir]%s [--threads N]\n"
                "\n"
@@ -89,19 +98,37 @@ inline void print_usage(std::FILE* to, const char* tool, bool with_limit) {
     std::fprintf(to,
                  "  --limit N   run only the first N suite circuits (CI"
                  " perf gate)\n");
+  if (with_eco)
+    std::fprintf(to,
+                 "  --eco FILE  apply the ECO journal in FILE (one edit per"
+                 " line, see\n"
+                 "              docs/ECO.md) instead of the built-in edit"
+                 " script\n");
 }
 
 // Parses the common bench command line.  Exits on --help (0) and on
 // unknown options or surplus arguments (64).
 inline Cli parse_cli(int argc, char** argv, const char* tool,
-                     bool with_limit = false) {
+                     bool with_limit = false, bool with_eco = false) {
   Cli cli;
   bool have_out = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      print_usage(stdout, tool, with_limit);
+      print_usage(stdout, tool, with_limit, with_eco);
       std::exit(0);
+    }
+    if (with_eco && arg == "--eco") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --eco needs a file\n", tool);
+        std::exit(64);
+      }
+      cli.eco_path = argv[++i];
+      if (cli.eco_path.empty()) {
+        std::fprintf(stderr, "%s: --eco needs a non-empty path\n", tool);
+        std::exit(64);
+      }
+      continue;
     }
     if (with_limit && arg == "--limit") {
       if (i + 1 >= argc) {
@@ -176,13 +203,13 @@ inline Cli parse_cli(int argc, char** argv, const char* tool,
     }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "%s: unknown option '%s'\n", tool, arg.c_str());
-      print_usage(stderr, tool, with_limit);
+      print_usage(stderr, tool, with_limit, with_eco);
       std::exit(64);
     }
     if (have_out) {
       std::fprintf(stderr, "%s: unexpected argument '%s'\n", tool,
                    arg.c_str());
-      print_usage(stderr, tool, with_limit);
+      print_usage(stderr, tool, with_limit, with_eco);
       std::exit(64);
     }
     if (!arg.empty()) cli.out_dir = arg;
@@ -193,6 +220,17 @@ inline Cli parse_cli(int argc, char** argv, const char* tool,
   if (cli.out_dir != ".") {
     std::error_code ec;
     std::filesystem::create_directories(cli.out_dir, ec);
+  }
+  if (!cli.eco_path.empty()) {
+    std::ifstream in(cli.eco_path);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open ECO journal '%s'\n", tool,
+                   cli.eco_path.c_str());
+      std::exit(66);  // EX_NOINPUT
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    cli.eco_journal = content.str();
   }
   if (cli.stream.empty()) {
     if (const char* env = std::getenv("LAC_OBS_STREAM");

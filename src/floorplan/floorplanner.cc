@@ -260,4 +260,48 @@ Floorplan refloorplan_expanded(const Floorplan& prev,
   return floorplan_blocks(std::move(blocks), o);
 }
 
+std::optional<Floorplan> resize_block_in_place(const Floorplan& prev,
+                                               int block, double new_area) {
+  LAC_CHECK(block >= 0 && block < prev.num_blocks());
+  LAC_CHECK(new_area > 0.0);
+  if (prev.blocks[static_cast<std::size_t>(block)].hard) return std::nullopt;
+
+  const Rect r = prev.placement[static_cast<std::size_t>(block)];
+  auto legal = [&](const Rect& cand) {
+    if (cand.width() < 1 || cand.height() < 1) return false;
+    if (cand.lo.x < prev.chip.lo.x || cand.lo.y < prev.chip.lo.y ||
+        cand.hi.x > prev.chip.hi.x || cand.hi.y > prev.chip.hi.y)
+      return false;
+    for (int b = 0; b < prev.num_blocks(); ++b)
+      if (b != block &&
+          cand.overlaps(prev.placement[static_cast<std::size_t>(b)]))
+        return false;
+    return true;
+  };
+
+  // Candidate rects in a fixed order; the first legal one wins, so the
+  // edit is deterministic.  Width changes keep the height and vice versa.
+  const Coord w_for_h = std::max<Coord>(
+      1, static_cast<Coord>(std::ceil(new_area / static_cast<double>(r.height()))));
+  const Coord h_for_w = std::max<Coord>(
+      1, static_cast<Coord>(std::ceil(new_area / static_cast<double>(r.width()))));
+  const Rect candidates[] = {
+      {r.lo, {r.lo.x + w_for_h, r.hi.y}},              // right edge moves
+      {{r.hi.x - w_for_h, r.lo.y}, r.hi},              // left edge moves
+      {r.lo, {r.hi.x, r.lo.y + h_for_w}},              // top edge moves
+      {{r.lo.x, r.hi.y - h_for_w}, r.hi},              // bottom edge moves
+  };
+  for (const Rect& cand : candidates) {
+    if (!legal(cand)) continue;
+    Floorplan fp = prev;
+    fp.placement[static_cast<std::size_t>(block)] = cand;
+    fp.blocks[static_cast<std::size_t>(block)].area = new_area;
+    double block_area = 0.0;
+    for (const BlockSpec& b : fp.blocks) block_area += b.area;
+    fp.whitespace_fraction = 1.0 - block_area / fp.chip.area();
+    return fp;
+  }
+  return std::nullopt;
+}
+
 }  // namespace lac::floorplan

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -76,5 +77,15 @@ struct FloorplanOptions {
                                              const std::vector<double>& new_area,
                                              double extra_whitespace,
                                              const FloorplanOptions& opt = {});
+
+// ECO support: resizes one soft block's placed rectangle in place, leaving
+// the chip outline and every other block untouched — the local edit that
+// keeps most of an incremental re-plan reusable (a full re-anneal moves
+// everything).  A shrink pulls the right edge in; a grow extends the rect
+// into adjacent free space, trying right, left, up, then down.  Returns
+// nullopt when the block is hard or no single-direction extension fits,
+// in which case the caller falls back to refloorplan_expanded.
+[[nodiscard]] std::optional<Floorplan> resize_block_in_place(
+    const Floorplan& prev, int block, double new_area);
 
 }  // namespace lac::floorplan

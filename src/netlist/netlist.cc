@@ -1,5 +1,6 @@
 #include "netlist/netlist.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/check.h"
@@ -23,8 +24,56 @@ CellId Netlist::add_cell(std::string_view name, CellType type) {
 void Netlist::connect(CellId cell, CellId driver) {
   LAC_CHECK(cell.valid() && cell.index() < type_.size());
   LAC_CHECK(driver.valid() && driver.index() < type_.size());
+  LAC_CHECK_MSG(!is_removed(cell) && !is_removed(driver),
+                "connect() on a removed cell");
   fanin_[cell.index()].push_back(driver);
   fanout_[driver.index()].push_back(cell);
+}
+
+void Netlist::rewire_fanin(CellId cell, CellId old_driver, CellId new_driver) {
+  LAC_CHECK(cell.valid() && cell.index() < type_.size());
+  LAC_CHECK(new_driver.valid() && new_driver.index() < type_.size());
+  LAC_CHECK_MSG(!is_removed(cell) && !is_removed(new_driver),
+                "rewire_fanin() on a removed cell");
+  auto& fi = fanin_[cell.index()];
+  const auto it = std::find(fi.begin(), fi.end(), old_driver);
+  LAC_CHECK_MSG(it != fi.end(), "rewire_fanin: " << cell_name(cell)
+                                                 << " is not driven by "
+                                                 << cell_name(old_driver));
+  *it = new_driver;
+  auto& fo = fanout_[old_driver.index()];
+  const auto ot = std::find(fo.begin(), fo.end(), cell);
+  LAC_CHECK(ot != fo.end());
+  fo.erase(ot);
+  fanout_[new_driver.index()].push_back(cell);
+}
+
+void Netlist::remove_cell(CellId c) {
+  LAC_CHECK(c.valid() && c.index() < type_.size());
+  LAC_CHECK_MSG(!is_removed(c), "remove_cell() called twice");
+  auto& fo = fanout_[c.index()];
+  if (!fo.empty()) {
+    // Bypass: every fanout is rewired to the single fanin (in fanout-list
+    // order, so the edit is deterministic).
+    LAC_CHECK_MSG(fanin_[c.index()].size() == 1,
+                  "remove_cell: " << cell_name(c)
+                                  << " has fanouts but not exactly one fanin");
+    const CellId driver = fanin_[c.index()].front();
+    for (const CellId f : std::vector<CellId>(fo))
+      rewire_fanin(f, c, driver);
+  }
+  // Detach remaining fanin references (one fanout entry per connection).
+  for (const CellId d : fanin_[c.index()]) {
+    auto& dfo = fanout_[d.index()];
+    const auto it = std::find(dfo.begin(), dfo.end(), c);
+    LAC_CHECK(it != dfo.end());
+    dfo.erase(it);
+  }
+  fanin_[c.index()].clear();
+  fanout_[c.index()].clear();
+  by_name_.erase(cell_name_[c.index()]);
+  if (removed_.size() < type_.size()) removed_.resize(type_.size(), 0);
+  removed_[c.index()] = 1;
 }
 
 std::optional<CellId> Netlist::find(std::string_view name) const {
@@ -36,32 +85,38 @@ std::optional<CellId> Netlist::find(std::string_view name) const {
 std::vector<CellId> Netlist::cells() const {
   std::vector<CellId> out;
   out.reserve(type_.size());
-  for (int i = 0; i < num_cells(); ++i) out.emplace_back(i);
+  for (int i = 0; i < num_cells(); ++i)
+    if (!is_removed(CellId{i})) out.emplace_back(i);
   return out;
 }
 
 std::vector<CellId> Netlist::cells_of_type(CellType t) const {
   std::vector<CellId> out;
   for (int i = 0; i < num_cells(); ++i)
-    if (type_[static_cast<std::size_t>(i)] == t) out.emplace_back(i);
+    if (type_[static_cast<std::size_t>(i)] == t && !is_removed(CellId{i}))
+      out.emplace_back(i);
   return out;
 }
 
 int Netlist::count(CellType t) const {
   int n = 0;
-  for (const CellType ct : type_) n += (ct == t);
+  for (int i = 0; i < num_cells(); ++i)
+    n += (type_[static_cast<std::size_t>(i)] == t && !is_removed(CellId{i}));
   return n;
 }
 
 int Netlist::num_gates() const {
   int n = 0;
-  for (const CellType ct : type_) n += is_combinational(ct);
+  for (int i = 0; i < num_cells(); ++i)
+    n += (is_combinational(type_[static_cast<std::size_t>(i)]) &&
+          !is_removed(CellId{i}));
   return n;
 }
 
 std::optional<std::string> Netlist::validate() const {
   for (int i = 0; i < num_cells(); ++i) {
     const CellId c{i};
+    if (is_removed(c)) continue;
     const Arity a = cell_arity(type(c));
     const int nf = static_cast<int>(fanins(c).size());
     if (nf < a.min || (a.max >= 0 && nf > a.max)) {
@@ -78,6 +133,7 @@ std::optional<std::string> Netlist::validate() const {
   std::vector<std::pair<int, int>> comb_arcs;
   for (int i = 0; i < num_cells(); ++i) {
     const CellId c{i};
+    if (is_removed(c)) continue;
     if (type(c) == CellType::kDff) continue;  // DFF output breaks the path
     for (const CellId f : fanins(c)) {
       if (type(f) == CellType::kDff) continue;

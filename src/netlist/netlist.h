@@ -33,6 +33,21 @@ class Netlist {
   // Appends `driver` to `cell`'s fanin list.
   void connect(CellId cell, CellId driver);
 
+  // --- in-place editing (ECO support) -------------------------------------
+  // Replaces the first `old_driver` entry of `cell`'s fanin list with
+  // `new_driver`, keeping both fanout lists consistent.  The entry must
+  // exist.
+  void rewire_fanin(CellId cell, CellId old_driver, CellId new_driver);
+  // Removes a cell, keeping every other CellId stable (the slot becomes a
+  // tombstone skipped by cells()/count()/validate()).  Legal when the cell
+  // has no fanouts, or when it has exactly one fanin — in the latter case
+  // its fanouts are rewired to that fanin (buffer bypass).  The name is
+  // released for reuse.
+  void remove_cell(CellId c);
+  [[nodiscard]] bool is_removed(CellId c) const {
+    return c.index() < removed_.size() && removed_[c.index()] != 0;
+  }
+
   // --- accessors -----------------------------------------------------------
   [[nodiscard]] const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
@@ -50,7 +65,9 @@ class Netlist {
   }
   [[nodiscard]] std::optional<CellId> find(std::string_view name) const;
 
-  // All cell ids, 0..num_cells-1, for range-for convenience.
+  // All live cell ids in ascending order (removed slots are skipped), for
+  // range-for convenience.  Ids index dense per-cell arrays of size
+  // num_cells(), which counts tombstones too.
   [[nodiscard]] std::vector<CellId> cells() const;
   [[nodiscard]] std::vector<CellId> cells_of_type(CellType t) const;
 
@@ -68,6 +85,7 @@ class Netlist {
   std::vector<std::string> cell_name_;
   std::vector<std::vector<CellId>> fanin_;
   std::vector<std::vector<CellId>> fanout_;
+  std::vector<char> removed_;  // tombstones; empty until the first removal
   std::unordered_map<std::string, CellId> by_name_;
 };
 

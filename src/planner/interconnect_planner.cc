@@ -1,50 +1,17 @@
 #include "planner/interconnect_planner.h"
 
-#include <algorithm>
-#include <cmath>
-#include <map>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 
 #include "base/check.h"
-#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/obs.h"
 #include "obs/span.h"
 #include "obs/stream.h"
-#include "partition/fm.h"
-#include "retime/collapse.h"
-#include "retime/min_area.h"
-#include "retime/wd_matrices.h"
+#include "planner/pipeline.h"
+#include "planner/plan_session.h"
 
 namespace lac::planner {
-
-namespace {
-
-double cell_area_of(const netlist::Netlist& nl, netlist::CellId c,
-                    const timing::Technology& tech) {
-  switch (nl.type(c)) {
-    case netlist::CellType::kDff: return tech.dff_area;
-    case netlist::CellType::kInput:
-    case netlist::CellType::kOutput: return tech.dff_area * 0.25;
-    default: return tech.gate_area;
-  }
-}
-
-// Area a cell contributes when *sizing* blocks.  The per-edge retiming model
-// counts a register once per fanout edge (no sharing — paper Eqn. (3)), so
-// blocks must be provisioned for that demand or the area constraints are
-// unsatisfiable by construction rather than by flip-flop placement.
-double sizing_area_of(const netlist::Netlist& nl, netlist::CellId c,
-                      const timing::Technology& tech, double provision) {
-  if (nl.type(c) == netlist::CellType::kDff) {
-    const auto fanouts = nl.fanouts(c).size();
-    return tech.dff_area * provision *
-           static_cast<double>(std::max<std::size_t>(1, fanouts));
-  }
-  return cell_area_of(nl, c, tech);
-}
-
-}  // namespace
 
 InterconnectPlanner::InterconnectPlanner(PlannerConfig config)
     : config_(std::move(config)) {
@@ -56,6 +23,8 @@ InterconnectPlanner::InterconnectPlanner(PlannerConfig config)
   // Deprecated-alias normalisation: a non-default value in the old
   // top-level seed/observability fields wins over a still-default
   // RunControls entry; afterwards both views agree.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const PlannerConfig defaults;
   if (config_.seed != defaults.seed && config_.run.seed == defaults.run.seed)
     config_.run.seed = config_.seed;
@@ -64,6 +33,7 @@ InterconnectPlanner::InterconnectPlanner(PlannerConfig config)
     config_.run.observability = config_.observability;
   config_.seed = config_.run.seed;
   config_.observability = config_.run.observability;
+#pragma GCC diagnostic pop
   // The execution policy reaches the router through its own options.
   config_.route_opt.exec = config_.run.exec;
 }
@@ -71,12 +41,17 @@ InterconnectPlanner::InterconnectPlanner(PlannerConfig config)
 std::vector<PlanResult> InterconnectPlanner::plan(
     const netlist::Netlist& nl, const PlanOptions& opts) const {
   LAC_CHECK(opts.max_iterations >= 1);
+  // The multi-iteration loop is the session API's expand_blocks() delta:
+  // each extra iteration is one ECO whose re-plan reuses whatever the
+  // expansion left intact.
+  PlanSession session(nl, config_);
   std::vector<PlanResult> results;
-  results.push_back(plan(nl));
+  results.push_back(session.result());
   while (static_cast<int>(results.size()) < opts.max_iterations) {
-    auto next = replan_expanded(nl, results.back());
-    if (!next.has_value()) break;
-    results.push_back(std::move(*next));
+    if (session.result().lac.report.fits()) break;
+    session.begin_eco();
+    session.expand_blocks();
+    results.push_back(session.end_eco());
   }
   return results;
 }
@@ -97,53 +72,9 @@ PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
   span.annotate("blocks", config_.num_blocks);
   obs::count("planner.plans");
 
-  // 1. Partition cells into circuit blocks.
-  std::vector<double> cell_area(static_cast<std::size_t>(nl.num_cells()));
-  for (const auto c : nl.cells())
-    cell_area[c.index()] = cell_area_of(nl, c, config_.tech);
-  partition::FmOptions fm_opt;
-  fm_opt.seed = config_.run.seed;
-  const auto part = [&] {
-    obs::Span stage("stage.partition");
-    auto p = partition::partition_netlist(nl, cell_area, config_.num_blocks,
-                                          fm_opt);
-    stage.annotate("cut", p.cut);
-    return p;
-  }();
-
-  // 2. Size blocks (cells + slack) and floorplan.  Every
-  // ceil(1/hard_fraction)-th block becomes a hard macro.
-  std::vector<floorplan::BlockSpec> specs(
-      static_cast<std::size_t>(config_.num_blocks));
-  for (int b = 0; b < config_.num_blocks; ++b)
-    specs[static_cast<std::size_t>(b)].name = "blk" + std::to_string(b);
-  for (const auto c : nl.cells())
-    specs[static_cast<std::size_t>(part.block_of[c.index()])].area +=
-        sizing_area_of(nl, c, config_.tech, config_.dff_provision_factor);
-  const int hard_every =
-      config_.hard_block_fraction > 0.0
-          ? std::max(1, static_cast<int>(1.0 / config_.hard_block_fraction))
-          : 0;
-  for (int b = 0; b < config_.num_blocks; ++b) {
-    auto& spec = specs[static_cast<std::size_t>(b)];
-    spec.area = std::max(spec.area, config_.tech.gate_area);
-    spec.area *= 1.0 + config_.block_area_slack;
-    if (hard_every > 0 && b % hard_every == hard_every - 1) {
-      spec.hard = true;
-      const Coord side = std::max<Coord>(
-          1, static_cast<Coord>(std::llround(std::sqrt(spec.area))));
-      spec.fixed_w = side;
-      spec.fixed_h = side;
-    }
-  }
-  floorplan::FloorplanOptions fp_opt = config_.fp_opt;
-  fp_opt.seed = config_.run.seed;
-  auto fp = [&] {
-    obs::Span stage("stage.floorplan");
-    return floorplan::floorplan_blocks(std::move(specs), fp_opt);
-  }();
-
-  auto result = plan_on_floorplan(nl, part.block_of, std::move(fp));
+  auto pf = detail::partition_and_floorplan(nl, config_);
+  auto result =
+      plan_on_floorplan(nl, std::move(pf.block_of), std::move(pf.fp));
   result.circuit = nl.name();
   span.annotate("t_clk_ps", result.t_clk_ps);
   span.annotate("lac_n_foa", result.lac.report.n_foa);
@@ -154,236 +85,13 @@ PlanResult InterconnectPlanner::plan(const netlist::Netlist& nl) const {
 PlanResult InterconnectPlanner::plan_on_floorplan(
     const netlist::Netlist& nl, std::vector<int> block_of,
     floorplan::Floorplan fp) const {
-  obs::Span iter_span("planner.iteration");
-  PlanResult res;
-  res.circuit = nl.name();
-  res.block_of = std::move(block_of);
-  res.fp = std::move(fp);
-  obs::gauge("mem.floorplan_bytes", static_cast<double>(res.fp.bytes_used()));
-
-  // Cell positions: the RT abstraction places every cell at its block's
-  // centre (intra-block distances are not yet known at this stage).
-  std::vector<Point> pos(static_cast<std::size_t>(nl.num_cells()));
-  for (const auto c : nl.cells())
-    pos[c.index()] =
-        res.fp.placement[static_cast<std::size_t>(res.block_of[c.index()])]
-            .center();
-
-  // Soft-block used area: functional units only — original flip-flops are
-  // *not* pre-placed; they compete for the block's slack like relocated
-  // ones (the paper's capacity is "after repeater insertion", FFs float).
-  std::vector<double> used(static_cast<std::size_t>(res.fp.num_blocks()), 0.0);
-  for (const auto c : nl.cells())
-    if (nl.type(c) != netlist::CellType::kDff)
-      used[static_cast<std::size_t>(res.block_of[c.index()])] +=
-          cell_area_of(nl, c, config_.tech);
-
-  {
-    obs::Span stage("stage.tile_grid");
-    res.grid.emplace(res.fp, used, config_.tile_opt);
-    stage.annotate("tiles", res.grid->num_tiles());
-    stage.annotate("nx", res.grid->nx());
-    stage.annotate("ny", res.grid->ny());
-    stage.annotate("mem_bytes", res.grid->bytes_used());
-    obs::gauge("mem.tile_graph_bytes",
-               static_cast<double>(res.grid->bytes_used()));
-  }
-  tile::TileGrid& grid = *res.grid;
-
-  // 3. Collapse registers and set up one routing request per driver.
-  std::optional<obs::Span> collapse_span;
-  collapse_span.emplace("stage.collapse_nets");
-  const auto connections = retime::collapse_registers(nl);
-  struct NetInfo {
-    route::Cell source;
-    std::vector<route::Cell> sinks;              // distinct sink cells
-    std::unordered_map<int, int> sink_index_of;  // cell idx -> sinks index
-  };
-  std::map<int, NetInfo> nets;  // driver cell id -> net
-  auto grid_cell = [&](netlist::CellId c) {
-    const auto [gx, gy] = grid.cell_of_point(pos[c.index()]);
-    return route::Cell{gx, gy};
-  };
-  for (const auto& conn : connections) {
-    const route::Cell sc = grid_cell(conn.driver);
-    const route::Cell tc = grid_cell(conn.sink);
-    auto& net = nets[conn.driver.value()];
-    net.source = sc;
-    const int cell_idx = tc.gy * grid.nx() + tc.gx;
-    if (net.sink_index_of.find(cell_idx) == net.sink_index_of.end()) {
-      net.sink_index_of.emplace(cell_idx,
-                                static_cast<int>(net.sinks.size()));
-      net.sinks.push_back(tc);
-    }
-  }
-
-  std::vector<route::RouteRequest> requests;
-  std::vector<int> request_driver;
-  for (const auto& [driver, net] : nets) {
-    requests.push_back({net.source, net.sinks});
-    request_driver.push_back(driver);
-  }
-  collapse_span->annotate("connections", connections.size());
-  collapse_span->annotate("nets", requests.size());
-  collapse_span.reset();
-
-  // 4. Global routing + repeater planning.
-  route::GlobalRouter router(grid, config_.route_opt);
-  const auto trees = [&] {
-    obs::Span stage("stage.global_route");
-    return router.route_all(requests);
-  }();
-  res.routing = router.stats();
-
-  repeater::RepeaterPlanner rep(grid, config_.tech, config_.repeater_opt);
-  std::vector<repeater::BufferedNet> buffered;
-  {
-    obs::Span stage("stage.repeaters");
-    buffered.reserve(trees.size());
-    for (const auto& t : trees)
-      buffered.push_back(
-          rep.plan(t, config_.tech.gate_out_res, config_.tech.gate_in_cap));
-    stage.annotate("repeaters", rep.repeaters_inserted());
-    stage.annotate("area_consumed", rep.area_consumed());
-  }
-  res.repeaters = rep.repeaters_inserted();
-
-  // 5. Build the retiming graph.
-  std::optional<obs::Span> graph_span;
-  graph_span.emplace("stage.build_graph");
-  auto& g = res.graph;
-  std::vector<int> vtx(static_cast<std::size_t>(nl.num_cells()), -1);
-  for (const auto c : nl.cells()) {
-    const auto type = nl.type(c);
-    if (type == netlist::CellType::kDff) continue;
-    const bool io = type == netlist::CellType::kInput ||
-                    type == netlist::CellType::kOutput;
-    const double delay = io ? 0.0 : config_.tech.gate_delay;
-    vtx[c.index()] = g.add_vertex(retime::VertexKind::kFunctional, delay,
-                                  grid.tile_at(pos[c.index()]));
-    if (io) g.mark_io(vtx[c.index()]);
-  }
-
-  // Interconnect-unit chains, deduplicated along shared tree trunks by
-  // (unit ordinal, cell): identical prefixes of two sink paths produce the
-  // same vertices, so trunk flip-flops are shared, not duplicated.
-  // last_unit_of[request][sink_idx] = chain tail vertex (or driver vertex).
-  std::vector<std::vector<int>> last_unit_of(requests.size());
-  for (std::size_t q = 0; q < requests.size(); ++q) {
-    const int driver_vtx = vtx[static_cast<std::size_t>(request_driver[q])];
-    LAC_CHECK(driver_vtx > 0);
-    const auto& bnet = buffered[q];
-    last_unit_of[q].assign(requests[q].sinks.size(), driver_vtx);
-    if (bnet.sinks.empty()) continue;  // unrouted (all sinks colocated)
-    std::map<std::pair<int, int>, int> unit_vtx;  // (ordinal, cell) -> vertex
-    for (std::size_t s = 0; s < bnet.sinks.size(); ++s) {
-      int prev = driver_vtx;
-      const auto& units = bnet.sinks[s].units;
-      for (std::size_t k = 0; k < units.size(); ++k) {
-        const auto& u = units[k];
-        const int cell_idx = u.at.gy * grid.nx() + u.at.gx;
-        const auto key = std::make_pair(static_cast<int>(k), cell_idx);
-        auto it = unit_vtx.find(key);
-        if (it == unit_vtx.end()) {
-          const int v = g.add_vertex(retime::VertexKind::kInterconnect,
-                                     u.delay_ps, u.tile);
-          g.add_edge(prev, v, 0);
-          it = unit_vtx.emplace(key, v).first;
-        }
-        prev = it->second;
-      }
-      last_unit_of[q][s] = prev;
-    }
-  }
-  res.interconnect_units = g.num_interconnect_units();
-
-  // Connection edges carry the register counts on the private last hop.
-  std::unordered_map<int, int> request_of_driver;
-  for (std::size_t q = 0; q < requests.size(); ++q)
-    request_of_driver.emplace(request_driver[q], static_cast<int>(q));
-  for (const auto& conn : connections) {
-    const int uv = vtx[conn.driver.index()];
-    const int vv = vtx[conn.sink.index()];
-    LAC_CHECK(uv > 0 && vv > 0);
-    const int q = request_of_driver.at(conn.driver.value());
-    const route::Cell tc = grid_cell(conn.sink);
-    const int cell_idx = tc.gy * grid.nx() + tc.gx;
-    const int sink_idx = nets.at(conn.driver.value()).sink_index_of.at(cell_idx);
-    const int tail = last_unit_of[static_cast<std::size_t>(q)]
-                                 [static_cast<std::size_t>(sink_idx)];
-    g.add_edge(tail, vv, conn.w);
-  }
-
-  graph_span->annotate("vertices", g.num_vertices());
-  graph_span->annotate("interconnect_units", res.interconnect_units);
-  graph_span->annotate("mem_bytes", g.bytes_used());
-  obs::gauge("mem.retiming_graph_bytes", static_cast<double>(g.bytes_used()));
-  graph_span.reset();
-
-  // 6. Timing landmarks.
-  std::optional<obs::Span> timing_span;
-  timing_span.emplace("stage.timing");
-  const auto wd = retime::WdMatrices::compute(g, config_.run.exec);
-  timing_span->annotate("mem_bytes", wd.bytes_used());
-  obs::gauge("mem.wd_bytes", static_cast<double>(wd.bytes_used()));
-  res.t_init_ps = wd.t_init_ps();
-  res.t_min_ps = retime::min_period_retiming(g, wd);
-  res.t_clk_ps = res.t_min_ps + config_.clock_slack_fraction *
-                                    (res.t_init_ps - res.t_min_ps);
-  const auto t_clk_decips = retime::to_decips(res.t_clk_ps);
-
-  const auto cs = retime::build_constraints(g, wd, t_clk_decips);
-  res.clock_constraints = cs.clock.size();
-  res.clock_constraints_unpruned = cs.clock_before_pruning;
-  res.constraint_gen_seconds = timing_span->elapsed_seconds();
-  timing_span->annotate("t_init_ps", res.t_init_ps);
-  timing_span->annotate("t_min_ps", res.t_min_ps);
-  timing_span->annotate("t_clk_ps", res.t_clk_ps);
-  timing_span->annotate("clock_constraints", res.clock_constraints);
-  timing_span->annotate("clock_constraints_unpruned",
-                        res.clock_constraints_unpruned);
-  timing_span.reset();
-
-  // 7. Baseline: plain min-area retiming at T_clk.
-  {
-    obs::Span stage("stage.min_area_retiming");
-    auto r = retime::min_area_retiming(g, cs);
-    LAC_CHECK_MSG(r.has_value(), "T_clk >= T_min must be feasible");
-    res.min_area.r = std::move(*r);
-    res.min_area.report =
-        retime::place_flipflops(g, grid, res.min_area.r, config_.tech.dff_area);
-    res.min_area.exec_seconds = stage.elapsed_seconds();
-    res.min_area.n_wr = 1;
-    stage.annotate("n_foa", res.min_area.report.n_foa);
-    stage.annotate("n_f", res.min_area.report.n_f);
-  }
-
-  // 8. The contribution: LAC-retiming at T_clk.
-  {
-    obs::Span stage("stage.lac_retiming");
-    auto lac = retime::lac_retiming(g, grid, cs, config_.lac_opt);
-    res.lac.r = std::move(lac.r);
-    res.lac.report = std::move(lac.report);
-    res.lac.n_wr = lac.n_wr;
-    res.lac.rounds = std::move(lac.rounds);
-    res.lac.exec_seconds = stage.elapsed_seconds();
-    stage.annotate("n_wr", res.lac.n_wr);
-    stage.annotate("n_foa", res.lac.report.n_foa);
-    stage.annotate("n_f", res.lac.report.n_f);
-    stage.annotate("met_all_constraints", res.lac.report.fits());
-  }
-
-  // OS-level high-water mark; noisy across runs, so the perf gate treats
-  // every *rss* gauge as informational only.
-  if (const std::int64_t rss = obs::memory::peak_rss_bytes(); rss > 0)
-    obs::gauge("mem.peak_rss_bytes", static_cast<double>(rss));
-  return res;
+  return detail::run_pipeline(nl, std::move(block_of), std::move(fp), config_,
+                              nullptr, nullptr, nullptr, nullptr, nullptr);
 }
 
 std::optional<PlanResult> InterconnectPlanner::replan_expanded(
     const netlist::Netlist& nl, const PlanResult& prev) const {
   LAC_CHECK(prev.grid.has_value());
-  const auto& grid = *prev.grid;
   const auto& rep = prev.lac.report;
   if (rep.fits()) return std::nullopt;
 
@@ -396,31 +104,14 @@ std::optional<PlanResult> InterconnectPlanner::replan_expanded(
   span.annotate("prev_tiles_violating", rep.tiles_violating);
   obs::count("planner.replans");
 
-  // Grow every violating soft block by 1.5x its overflow; violations in
-  // channels or hard blocks translate into a higher whitespace target.
-  std::vector<double> new_area;
-  new_area.reserve(prev.fp.blocks.size());
-  for (const auto& b : prev.fp.blocks) new_area.push_back(b.area);
-  double channel_overflow = 0.0;
-  for (int t = 0; t < grid.num_tiles(); ++t) {
-    const tile::TileId tid{t};
-    const double over = rep.ac[static_cast<std::size_t>(t)] - grid.capacity(tid);
-    if (over <= 0.0) continue;
-    if (grid.kind(tid) == tile::TileKind::kSoftBlock) {
-      new_area[grid.block(tid).index()] += 1.5 * over;
-    } else {
-      channel_overflow += over;
-    }
-  }
-  const double extra_ws =
-      std::min(0.2, 2.0 * channel_overflow / prev.fp.chip.area());
-
+  const auto spec = detail::expansion_spec(prev);
   floorplan::FloorplanOptions fp_opt = config_.fp_opt;
   fp_opt.seed = config_.run.seed;
-  auto fp = floorplan::refloorplan_expanded(prev.fp, new_area, extra_ws, fp_opt);
+  auto fp = floorplan::refloorplan_expanded(prev.fp, spec.new_area,
+                                            spec.extra_whitespace, fp_opt);
   auto result = plan_on_floorplan(nl, prev.block_of, std::move(fp));
   result.circuit = nl.name();
-  span.annotate("extra_whitespace", extra_ws);
+  span.annotate("extra_whitespace", spec.extra_whitespace);
   span.annotate("lac_n_foa", result.lac.report.n_foa);
   span.annotate("met_all_constraints", result.lac.report.fits());
   return result;

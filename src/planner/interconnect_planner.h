@@ -37,6 +37,19 @@
 namespace lac::planner {
 
 struct PlannerConfig {
+  // Explicitly-defaulted special members, so that the [[deprecated]] alias
+  // fields below warn only where code names them directly — not in every
+  // synthesized copy/default construction of the whole config.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  PlannerConfig() = default;
+  PlannerConfig(const PlannerConfig&) = default;
+  PlannerConfig(PlannerConfig&&) = default;
+  PlannerConfig& operator=(const PlannerConfig&) = default;
+  PlannerConfig& operator=(PlannerConfig&&) = default;
+  ~PlannerConfig() = default;
+#pragma GCC diagnostic pop
+
   int num_blocks = 9;
   // Fraction of blocks treated as hard macros with pre-located sites.  The
   // paper's own experiments use soft blocks only ("we first partition those
@@ -69,6 +82,7 @@ struct PlannerConfig {
   // release so existing initialisers keep compiling.  A non-default value
   // here wins over a still-default run.* field; the InterconnectPlanner
   // constructor normalises and then keeps both views in sync.
+  [[deprecated("use PlannerConfig::run.observability")]]
   obs::Override observability = obs::Override::kEnv;
 
   timing::Technology tech = timing::Technology::paper_default();
@@ -77,6 +91,7 @@ struct PlannerConfig {
   route::RouterOptions route_opt;
   repeater::RepeaterPlanOptions repeater_opt;
   retime::LacOptions lac_opt;
+  [[deprecated("use PlannerConfig::run.seed")]]
   std::uint64_t seed = 1;  // deprecated alias of run.seed (see above)
 };
 
@@ -152,11 +167,13 @@ class InterconnectPlanner {
   // plan(nl, PlanOptions{}).front().
   [[nodiscard]] PlanResult plan(const netlist::Netlist& nl) const;
 
-  // Deprecated: use plan(nl, PlanOptions{.max_iterations = k}).  Second
-  // planning iteration after floorplan expansion: each violating
+  // Deprecated: open a PlanSession and record an expand_blocks() delta —
+  // the session re-plan reuses unchanged work, this wrapper re-plans cold.
+  // Second planning iteration after floorplan expansion: each violating
   // soft-block tile's block grows by its overflow (times a margin) and the
   // whitespace target rises when channels overflowed.  Returns nullopt if
   // the previous result had no violations (nothing to expand).
+  [[deprecated("use PlanSession::expand_blocks() inside an ECO journal")]]
   [[nodiscard]] std::optional<PlanResult> replan_expanded(
       const netlist::Netlist& nl, const PlanResult& prev) const;
 

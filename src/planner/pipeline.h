@@ -1,0 +1,135 @@
+// Shared planning pipeline: the single implementation behind both the cold
+// InterconnectPlanner::plan() path and the incremental PlanSession ECO
+// re-plan path.
+//
+// The pipeline (tile grid -> routing -> repeaters -> retiming graph ->
+// W/D -> constraints -> min-area vs LAC retiming) is a deterministic
+// function of (netlist, block assignment, floorplan, config, overrides).
+// The caches below never change *what* it computes — only how much work
+// the computation performs:
+//   * route:    a RouteLog of the previous run lets provably-unchanged nets
+//               skip their Dijkstra (route::route_all_incremental);
+//   * repeater: a PlanTrace per net lets nets whose tree and tile context
+//               are unchanged replay their previous plan;
+//   * W/D:      rows whose source cannot reach any changed vertex are
+//               copied (WdMatrices::compute_incremental);
+//   * LAC:      a WeightedMinAreaSolver session keeps the min-cost flow
+//               warm across re-plans when the constraint system is
+//               content-identical.
+// Every reuse path is gated on an exactness proof, so an ECO re-plan is
+// bit-identical to a cold run of the pipeline on the same inputs — the
+// invariant the eco-equivalence CI gate enforces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "floorplan/floorplanner.h"
+#include "netlist/netlist.h"
+#include "planner/interconnect_planner.h"
+#include "repeater/repeater_planner.h"
+#include "retime/constraints.h"
+#include "retime/wd_matrices.h"
+#include "retime/weighted_min_area_solver.h"
+#include "route/global_router.h"
+
+namespace lac::planner {
+
+// Non-structural ECO knobs: edits that change areas/capacities without
+// touching netlist connectivity or the floorplan outline.  All fields
+// default to "no change"; the same overrides feed both the incremental
+// re-plan and its cold reference, so they cannot break equivalence.
+struct EcoOverrides {
+  // Per cell index: multiplier on the cell's area when deriving soft-block
+  // used area (and hence block tile capacities).  Shorter than num_cells
+  // (or empty) means 1.0 for the missing tail.
+  std::vector<double> cell_area_scale;
+  // Per block: multiplier applied to every tile of that block after grid
+  // construction.  Empty means 1.0 everywhere.
+  std::vector<double> block_capacity_scale;
+  // Multiplier applied to every channel tile.
+  double channel_capacity_scale = 1.0;
+
+  [[nodiscard]] bool trivial() const {
+    for (const double s : cell_area_scale)
+      if (s != 1.0) return false;
+    for (const double s : block_capacity_scale)
+      if (s != 1.0) return false;
+    return channel_capacity_scale == 1.0;
+  }
+};
+
+// Work accounting of one incremental re-plan.  Pure effort metadata — none
+// of these feed back into planning decisions.
+struct EcoStats {
+  long long invalidated_nets = 0;   // nets with a changed/new route request
+  long long reused_routes = 0;      // initial-pass trees reused from the log
+  long long reused_reroutes = 0;    // rip-up reroutes reused from the log
+  long long cold_routes = 0;        // initial-pass Dijkstra runs
+  long long cold_reroutes = 0;      // rip-up Dijkstra runs
+  bool route_full_fallback = false; // grid dims changed: batched cold route
+  long long repeater_replays = 0;   // nets whose repeater plan replayed
+  long long repeater_replans = 0;   // nets re-planned from scratch
+  std::int64_t wd_rows_rebuilt = 0; // per-source Dijkstra rows recomputed
+  std::int64_t wd_rows_total = 0;   // == graph vertex count
+  bool lac_warm = false;            // LAC ran on the retained warm session
+};
+
+// Reusable state carried between pipeline runs by a PlanSession.  The
+// retiming graph itself lives in PlanResult; everything here is keyed to
+// (or parallel with) that result.
+struct PipelineCache {
+  route::RouteLog route_log;                      // route replay log
+  std::vector<route::RouteTree> trees;            // parallel to route_log.requests
+  std::vector<repeater::BufferedNet> buffered;    // parallel to route_log.requests
+  std::vector<repeater::PlanTrace> traces;        // parallel to route_log.requests
+  // Per net (parallel to route_log.requests): interconnect-unit vertices in
+  // creation order — the positional vertex correspondence for W/D reuse.
+  std::vector<std::vector<int>> net_unit_vertices;
+  std::vector<int> cell_vertex;                   // cell index -> vertex or -1
+  retime::WdMatrices wd;
+  retime::ConstraintSet cs;
+  // Warm min-cost-flow session of the last LAC run; rebind() it whenever
+  // the graph/constraints move to a new address.
+  std::optional<retime::WeightedMinAreaSolver> lac_session;
+};
+
+namespace detail {
+
+// Steps 1–2 of a cold plan: FM partition, block sizing, floorplan — with
+// the same stage spans plan() has always emitted.
+struct PartitionedFloorplan {
+  std::vector<int> block_of;
+  floorplan::Floorplan fp;
+};
+[[nodiscard]] PartitionedFloorplan partition_and_floorplan(
+    const netlist::Netlist& nl, const PlannerConfig& config);
+
+// Expansion amounts for the paper's iteration-2 replan, derived from the
+// LAC violations of `prev`: violating soft blocks grow by 1.5x their
+// overflow, channel/hard overflow raises the whitespace target.
+struct ExpansionSpec {
+  std::vector<double> new_area;  // per block
+  double extra_whitespace = 0.0;
+};
+[[nodiscard]] ExpansionSpec expansion_spec(const PlanResult& prev);
+
+// The pipeline proper.  All five trailing pointers may be null:
+//   * overrides  — ECO knobs (null == no overrides);
+//   * prev_cache / prev_res — previous run to reuse work from (both or
+//     neither; prev_cache is non-const because a matching LAC session is
+//     *moved* into out_cache rather than rebuilt);
+//   * out_cache  — receives this run's reusable state;
+//   * eco        — receives the work accounting (with prev_* set, the
+//     eco.* counters and per-stage reuse annotations are also emitted).
+// With every pointer null this is byte-for-byte the classic cold
+// plan_on_floorplan body.
+[[nodiscard]] PlanResult run_pipeline(
+    const netlist::Netlist& nl, std::vector<int> block_of,
+    floorplan::Floorplan fp, const PlannerConfig& config,
+    const EcoOverrides* overrides, PipelineCache* prev_cache,
+    const PlanResult* prev_res, PipelineCache* out_cache, EcoStats* eco);
+
+}  // namespace detail
+}  // namespace lac::planner

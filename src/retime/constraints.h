@@ -33,6 +33,7 @@ struct Constraint {
   int u = -1;
   int v = -1;
   std::int32_t c = 0;  // r(u) - r(v) <= c
+  friend bool operator==(const Constraint&, const Constraint&) = default;
 };
 
 struct ConstraintSet {
@@ -51,6 +52,11 @@ struct ConstraintSet {
     for (const auto& c : clock) f(c);
     for (const auto& c : io) f(c);
   }
+
+  // Content equality — two sets with identical constraints (in order) build
+  // identical flow networks, which is what lets an ECO re-plan keep a warm
+  // WeightedMinAreaSolver session (see its matches()/rebind()).
+  friend bool operator==(const ConstraintSet&, const ConstraintSet&) = default;
 };
 
 struct ConstraintOptions {

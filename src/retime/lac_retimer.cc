@@ -34,24 +34,29 @@ void validate_options(const LacOptions& opt) {
                 "LacOptions::weight_min (" << opt.weight_min
                     << ") must be <= weight_max (" << opt.weight_max << ")");
 }
-}  // namespace
-
-LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
-                       const ConstraintSet& cs, const LacOptions& opt) {
+LacResult lac_retiming_impl(const RetimingGraph& g,
+                            const tile::TileGrid& grid,
+                            const ConstraintSet& cs, const LacOptions& opt,
+                            WeightedMinAreaSolver* external) {
   validate_options(opt);
 
   obs::Span lac_span("lac.retiming");
   lac_span.annotate("vertices", g.num_vertices());
   lac_span.annotate("tiles", grid.num_tiles());
   lac_span.annotate("alpha", opt.alpha);
-  lac_span.annotate("incremental", opt.incremental);
+  lac_span.annotate("incremental", opt.incremental || external != nullptr);
 
   // One solver session for the whole call: the flow network is built once
   // and rounds >= 2 warm-start from the previous round's flow.  The cold
   // path (a fresh network + solve per round) is kept for A/B comparison;
-  // both produce bit-identical retimings every round.
-  std::optional<WeightedMinAreaSolver> session;
-  if (opt.incremental) session.emplace(g, cs);
+  // both produce bit-identical retimings every round.  A caller-owned
+  // session (ECO re-plan) takes precedence and may arrive already warm.
+  std::optional<WeightedMinAreaSolver> owned;
+  WeightedMinAreaSolver* session = external;
+  if (session == nullptr && opt.incremental) {
+    owned.emplace(g, cs);
+    session = &*owned;
+  }
 
   LacResult best;
   bool have_best = false;
@@ -88,7 +93,7 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
 
     MinAreaStats solve_stats;
     const auto r =
-        opt.incremental
+        session != nullptr
             ? session->solve(area_weight, &solve_stats)
             : weighted_min_area_retiming(g, cs, area_weight, &solve_stats);
     LAC_CHECK_MSG(r.has_value(), "LAC-retiming called with infeasible period");
@@ -176,6 +181,22 @@ LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
   lac_span.annotate("n_f", best.report.n_f);
   lac_span.annotate("met_all_constraints", best.met_all_constraints);
   return best;
+}
+
+}  // namespace
+
+LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
+                       const ConstraintSet& cs, const LacOptions& opt) {
+  return lac_retiming_impl(g, grid, cs, opt, nullptr);
+}
+
+LacResult lac_retiming(const RetimingGraph& g, const tile::TileGrid& grid,
+                       const ConstraintSet& cs,
+                       WeightedMinAreaSolver* session, const LacOptions& opt) {
+  LAC_CHECK(session != nullptr);
+  LAC_CHECK_MSG(session->matches(g, cs),
+                "external solver session does not match (g, cs)");
+  return lac_retiming_impl(g, grid, cs, opt, session);
 }
 
 }  // namespace lac::retime

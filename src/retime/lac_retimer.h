@@ -75,11 +75,26 @@ struct LacResult {
   std::vector<LacRoundStats> rounds;
 };
 
+class WeightedMinAreaSolver;
+
 // `cs` must be feasible (callers check the clock period first); throws
 // CheckError otherwise.
 [[nodiscard]] LacResult lac_retiming(const RetimingGraph& g,
                                      const tile::TileGrid& grid,
                                      const ConstraintSet& cs,
+                                     const LacOptions& opt = {});
+
+// Same algorithm, but the weighted solves run through `session`, an
+// external WeightedMinAreaSolver owned by the caller (a PlanSession keeping
+// the min-cost flow warm across ECO re-plans).  `session` must satisfy
+// session->matches(g, cs).  A fresh external session behaves exactly like
+// the internal one; a previously-used one returns bit-identical retimings
+// (canonical label extraction) with less flow work — only the effort
+// fields of LacRoundStats differ.  `opt.incremental` is ignored.
+[[nodiscard]] LacResult lac_retiming(const RetimingGraph& g,
+                                     const tile::TileGrid& grid,
+                                     const ConstraintSet& cs,
+                                     WeightedMinAreaSolver* session,
                                      const LacOptions& opt = {});
 
 }  // namespace lac::retime

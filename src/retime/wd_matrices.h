@@ -40,6 +40,22 @@ class WdMatrices {
   [[nodiscard]] static WdMatrices compute(const RetimingGraph& g,
                                           const base::ExecPolicy& exec);
 
+  // Incremental recompute across an ECO.  `prev` was computed on `prev_g`;
+  // `new_to_old[v]` gives v's counterpart in prev_g, or -1 when v is new.
+  // A source row is copied from `prev` (columns permuted through the
+  // mapping) when the source provably cannot reach — in g — any *changed*
+  // vertex: one that is new, has a different delay, or whose out-edge list
+  // differs under the mapping.  W/D entries are intrinsic path properties
+  // (register count / path delay), independent of the BIG scalarisation
+  // constant, so the result is bit-identical to compute(g, exec) for any
+  // thread count.  `rows_rebuilt` (optional) receives the number of
+  // per-source Dijkstra runs actually performed.
+  [[nodiscard]] static WdMatrices compute_incremental(
+      const RetimingGraph& g, const base::ExecPolicy& exec,
+      const RetimingGraph& prev_g, const WdMatrices& prev,
+      const std::vector<int>& new_to_old,
+      std::int64_t* rows_rebuilt = nullptr);
+
   [[nodiscard]] int n() const { return n_; }
   // W(u,v); kUnreachable when no u->v path exists.  W(v,v) = 0 by
   // convention (the empty path).

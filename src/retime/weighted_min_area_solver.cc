@@ -17,16 +17,16 @@ constexpr double kWeightGrid = 1 << 14;
 
 WeightedMinAreaSolver::WeightedMinAreaSolver(const RetimingGraph& g,
                                              const ConstraintSet& cs)
-    : g_(g),
-      cs_(cs),
+    : g_(&g),
+      cs_(&cs),
       mcf_(g.num_vertices()),
       ai_(static_cast<std::size_t>(g.num_vertices()), 0),
       supply_(static_cast<std::size_t>(g.num_vertices()), 0) {
-  const int n = g_.num_vertices();
-  LAC_CHECK(cs_.num_vars == n);
+  const int n = g_->num_vertices();
+  LAC_CHECK(cs_->num_vars == n);
 
   // One arc per constraint r(u) − r(v) ≤ c:  u -> v, cost c, cap ∞.
-  cs_.for_each([&](const Constraint& c) {
+  cs_->for_each([&](const Constraint& c) {
     mcf_.add_arc(c.u, c.v, graph::MinCostFlow::kInfCap, c.c);
   });
   // Bounding/connectivity arcs through the host.  K must exceed any label
@@ -34,14 +34,14 @@ WeightedMinAreaSolver::WeightedMinAreaSolver(const RetimingGraph& g,
   // (#vars) · (largest |constraint constant|) for shortest-path-derived
   // solutions, so this K keeps the box constraints slack at some optimum.
   std::int64_t max_c = 1;
-  cs_.for_each([&](const Constraint& c) {
+  cs_->for_each([&](const Constraint& c) {
     max_c = std::max<std::int64_t>(max_c, std::abs(static_cast<std::int64_t>(c.c)));
   });
   const std::int64_t big_k = static_cast<std::int64_t>(n + 1) * (max_c + 1);
   for (int v = 0; v < n; ++v) {
-    if (v == g_.host()) continue;
-    mcf_.add_arc(v, g_.host(), graph::MinCostFlow::kInfCap, big_k);
-    mcf_.add_arc(g_.host(), v, graph::MinCostFlow::kInfCap, big_k);
+    if (v == g_->host()) continue;
+    mcf_.add_arc(v, g_->host(), graph::MinCostFlow::kInfCap, big_k);
+    mcf_.add_arc(g_->host(), v, graph::MinCostFlow::kInfCap, big_k);
   }
   // Before the first solve the warm-start vectors are still empty, so warm
   // and cold instances of the same network report the same value.
@@ -50,19 +50,19 @@ WeightedMinAreaSolver::WeightedMinAreaSolver(const RetimingGraph& g,
 
 std::optional<std::vector<int>> WeightedMinAreaSolver::solve(
     const std::vector<double>& area_weight, MinAreaStats* stats) {
-  const int n = g_.num_vertices();
+  const int n = g_->num_vertices();
   LAC_CHECK(static_cast<int>(area_weight.size()) == n);
 
   obs::Span span("retime.weighted_min_area");
   span.annotate("vertices", n);
-  span.annotate("constraints", cs_.total());
+  span.annotate("constraints", cs_->total());
   const bool warm_round = rounds_ > 0;
   span.annotate("warm", warm_round);
   ++rounds_;
 
   double max_w = 0.0;
   for (int v = 0; v < n; ++v) {
-    if (v == g_.host()) continue;
+    if (v == g_->host()) continue;
     LAC_CHECK_MSG(area_weight[static_cast<std::size_t>(v)] > 0.0,
                   "area weight of vertex " << v << " must be positive");
     max_w = std::max(max_w, area_weight[static_cast<std::size_t>(v)]);
@@ -70,7 +70,7 @@ std::optional<std::vector<int>> WeightedMinAreaSolver::solve(
   LAC_CHECK(max_w > 0.0);
   for (int v = 0; v < n; ++v) {
     ai_[static_cast<std::size_t>(v)] =
-        v == g_.host()
+        v == g_->host()
             ? 0
             : std::max<std::int64_t>(
                   1, static_cast<std::int64_t>(std::llround(
@@ -81,7 +81,7 @@ std::optional<std::vector<int>> WeightedMinAreaSolver::solve(
   // Supplies: supply(v) = fo(v) − fi(v) (see min_area.h derivation).  Only
   // the supplies change between rounds; arcs and costs are fixed.
   std::fill(supply_.begin(), supply_.end(), 0);
-  for (const auto& e : g_.edges()) {
+  for (const auto& e : g_->edges()) {
     supply_[static_cast<std::size_t>(e.tail)] +=
         ai_[static_cast<std::size_t>(e.tail)];  // fo
     supply_[static_cast<std::size_t>(e.head)] -=
@@ -103,7 +103,7 @@ std::optional<std::vector<int>> WeightedMinAreaSolver::solve(
   // network.  Unlike the raw solver potentials, these do not depend on the
   // augmentation history, so cold and warm solves (and any thread count)
   // produce the same retiming.
-  const auto dist = mcf_.residual_distances_from(g_.host());
+  const auto dist = mcf_.residual_distances_from(g_->host());
   std::vector<int> r(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
     const std::int64_t d = dist[static_cast<std::size_t>(v)];
@@ -112,10 +112,10 @@ std::optional<std::vector<int>> WeightedMinAreaSolver::solve(
     r[static_cast<std::size_t>(v)] = static_cast<int>(-d);
   }
 
-  LAC_CHECK_MSG(g_.is_legal_retiming(r),
+  LAC_CHECK_MSG(g_->is_legal_retiming(r),
                 "min-cost-flow produced an illegal retiming");
   if (stats != nullptr) {
-    stats->objective = weighted_ff_area(g_, r, area_weight);
+    stats->objective = weighted_ff_area(*g_, r, area_weight);
     stats->flow_cost_exact = sol->total_cost_exact;
     stats->phases = mcf_.stats().phases;
     stats->augmentations = mcf_.stats().augmentations;
@@ -123,6 +123,21 @@ std::optional<std::vector<int>> WeightedMinAreaSolver::solve(
     stats->repaired_arcs = mcf_.stats().repaired_arcs;
   }
   return r;
+}
+
+bool WeightedMinAreaSolver::matches(const RetimingGraph& g,
+                                    const ConstraintSet& cs) const {
+  return g.num_vertices() == g_->num_vertices() && cs == *cs_;
+}
+
+void WeightedMinAreaSolver::rebind(const RetimingGraph& g,
+                                   const ConstraintSet& cs) {
+  // No content check here: rebind is also used after the previous targets
+  // have been moved-from (a PlanSession relocating its result), when they
+  // can no longer witness their original content.  Callers verify
+  // matches() while the old targets are still intact.
+  g_ = &g;
+  cs_ = &cs;
 }
 
 }  // namespace lac::retime

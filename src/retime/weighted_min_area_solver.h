@@ -35,7 +35,8 @@ namespace lac::retime {
 class WeightedMinAreaSolver {
  public:
   // Builds the flow network (one arc per constraint plus the host
-  // bounding arcs) once.  `g` and `cs` must outlive the solver.
+  // bounding arcs) once.  `g` and `cs` must outlive the solver (or be
+  // replaced via rebind()).
   WeightedMinAreaSolver(const RetimingGraph& g, const ConstraintSet& cs);
 
   // Solves weighted min-area retiming for the given weights
@@ -49,9 +50,22 @@ class WeightedMinAreaSolver {
   // Number of solve() calls served so far.
   [[nodiscard]] int rounds() const { return rounds_; }
 
+  // True when (g, cs) would build the *identical* flow network this session
+  // already holds: same vertex count and content-equal constraint set.  The
+  // network depends on nothing else, so a matching session can keep its
+  // warm flow across an ECO re-plan.
+  [[nodiscard]] bool matches(const RetimingGraph& g,
+                             const ConstraintSet& cs) const;
+
+  // Re-points the session at (g, cs) without touching the flow network.
+  // The caller guarantees content-identity (matches() before any move) —
+  // used after an ECO re-plan relocates the graph/constraints into a new
+  // cache generation (same content, new addresses).
+  void rebind(const RetimingGraph& g, const ConstraintSet& cs);
+
  private:
-  const RetimingGraph& g_;
-  const ConstraintSet& cs_;
+  const RetimingGraph* g_;
+  const ConstraintSet* cs_;
   graph::MinCostFlow mcf_;
   std::vector<std::int64_t> ai_;      // quantised weights (scratch)
   std::vector<std::int64_t> supply_;  // per-node supplies (scratch)

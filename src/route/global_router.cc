@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <queue>
+#include <unordered_map>
 
 #include "base/check.h"
 #include "base/parallel.h"
@@ -215,12 +217,38 @@ void GlobalRouter::route_batch(const std::vector<RouteRequest>& nets,
       trees[i] = route_one(nets[i]);  // sequential fallback, current usage
     add_usage(trees[i], 1.0);
     mark(trees[i]);
+    if (log_ != nullptr)
+      log_->events.push_back({(*log_keys_)[i], log_phase_, trees[i]});
   }
   for (const int e : dirty_list) dirty[static_cast<std::size_t>(e)] = 0;
 }
 
 std::vector<RouteTree> GlobalRouter::route_all(
     const std::vector<RouteRequest>& nets) {
+  return route_all_impl(nets, nullptr, nullptr);
+}
+
+std::vector<RouteTree> GlobalRouter::route_all_logged(
+    const std::vector<RouteRequest>& nets, const std::vector<long long>& keys,
+    RouteLog* log) {
+  LAC_CHECK(keys.size() == nets.size());
+  return route_all_impl(nets, &keys, log);
+}
+
+std::vector<RouteTree> GlobalRouter::route_all_impl(
+    const std::vector<RouteRequest>& nets, const std::vector<long long>* keys,
+    RouteLog* log) {
+  if (log != nullptr) {
+    LAC_CHECK(keys != nullptr);
+    log->nx = grid_.nx();
+    log->ny = grid_.ny();
+    log->requests = nets;
+    log->keys = *keys;
+    log->events.clear();
+    log_ = log;
+    log_keys_ = keys;
+    log_phase_ = 0;
+  }
   stats_ = {};
   obs::Span span("route.route_all");
   span.annotate("nets", nets.size());
@@ -268,6 +296,7 @@ std::vector<RouteTree> GlobalRouter::route_all(
     round_span.annotate("round", round + 1);
     round_span.annotate("overflowed_edges", n_over);
     stats_.ripup_rounds_used = round + 1;
+    log_phase_ = round + 1;
     // The reroute set is fixed at round start: every net is tested before
     // it is itself rerouted, and reroutes of other nets don't change it.
     std::vector<std::size_t> to_reroute;
@@ -292,7 +321,20 @@ std::vector<RouteTree> GlobalRouter::route_all(
     round_span.annotate("nets_rerouted", rerouted);
   }
 
-  // Final statistics.
+  finalize_stats(trees);
+  span.annotate("nets_routed", stats_.nets_routed);
+  span.annotate("nets_rerouted", stats_.nets_rerouted);
+  span.annotate("ripup_rounds_used", stats_.ripup_rounds_used);
+  span.annotate("overflowed_edges", stats_.overflowed_edges);
+  span.annotate("max_usage", stats_.max_usage);
+  span.annotate("total_wirelength_um", stats_.total_wirelength_um);
+  log_ = nullptr;
+  log_keys_ = nullptr;
+  log_phase_ = 0;
+  return trees;
+}
+
+void GlobalRouter::finalize_stats(const std::vector<RouteTree>& trees) {
   stats_.total_wirelength_um = 0.0;
   stats_.overflowed_edges = 0;
   stats_.max_usage = 0.0;
@@ -316,17 +358,291 @@ std::vector<RouteTree> GlobalRouter::route_all(
       ++b;
     ++stats_.usage_histogram[b];
   }
+  obs::count("route.nets", stats_.nets_routed);
+  obs::count("route.nets_rerouted", stats_.nets_rerouted);
+  obs::count("route.overflowed_edges", stats_.overflowed_edges);
+  obs::observe("route.max_usage", stats_.max_usage);
+}
 
+std::vector<RouteTree> GlobalRouter::route_all_incremental(
+    const std::vector<RouteRequest>& nets, const std::vector<long long>& keys,
+    const RouteLog& prev, RouteLog* log, IncRouteStats* inc) {
+  LAC_CHECK(keys.size() == nets.size());
+  if (prev.nx != grid_.nx() || prev.ny != grid_.ny()) {
+    // A resized grid renumbers every routing-graph cell, so no logged
+    // Dijkstra is comparable; re-route everything on the batched path.
+    if (inc != nullptr) {
+      inc->full_fallback = true;
+      inc->cold_initial = static_cast<long long>(nets.size());
+      inc->invalidated = static_cast<long long>(nets.size());
+    }
+    return route_all_impl(nets, &keys, log);
+  }
+
+  stats_ = {};
+  obs::Span span("route.route_all");
+  span.annotate("nets", nets.size());
+  std::vector<RouteTree> trees(nets.size());
+
+  // ---- replayed previous-run trajectory -----------------------------------
+  // u_prev/h_prev track the logged run's usage and history exactly, advanced
+  // event by event in the log's commit order.  `diff` marks the edges whose
+  // *cost* currently differs between the replayed state and the live state;
+  // with zero marked edges the two cost fields are identical everywhere, so
+  // a logged Dijkstra result (including its tie-breaks) is the live result.
+  const std::size_t ne = usage_.size();
+  std::vector<double> u_prev(ne, 0.0);
+  std::vector<double> h_prev(ne, 0.0);
+  std::vector<char> diff(ne, 0);
+  std::vector<int> diff_list;  // may hold stale (unmarked) entries
+  int n_diff = 0;
+  const double half = 0.5 * opt_.edge_capacity;
+  auto cong_eq = [&](double a, double b) {
+    return a == b || (a <= half && b <= half);
+  };
+  auto update_diff = [&](int e) {
+    const auto se = static_cast<std::size_t>(e);
+    const bool d =
+        h_prev[se] != history_[se] || !cong_eq(u_prev[se], usage_[se]);
+    if (d && !diff[se]) {
+      diff[se] = 1;
+      ++n_diff;
+      diff_list.push_back(e);
+    } else if (!d && diff[se]) {
+      diff[se] = 0;
+      --n_diff;
+    }
+  };
+  auto edge_indices_of = [&](const RouteTree& t) {
+    std::vector<int> out;
+    out.reserve(t.edges.size());
+    for (const auto& [a, b] : t.edges) out.push_back(edge_index(a, b));
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // Latest committed tree per key in the replayed run (needed to rip the
+  // net's own previous tree during rip-up replay).
+  std::unordered_map<long long, const RouteTree*> prev_tree_of;
+  std::unordered_map<long long, std::size_t> prev_req_of;
+  for (std::size_t q = 0; q < prev.keys.size(); ++q)
+    prev_req_of.emplace(prev.keys[q], q);
+  // (phase, key) -> event position, for candidate lookup.
+  std::map<std::pair<int, long long>, std::size_t> event_at;
+  for (std::size_t p = 0; p < prev.events.size(); ++p)
+    event_at.emplace(std::make_pair(prev.events[p].phase, prev.events[p].key),
+                     p);
+
+  std::size_t cursor = 0;  // first unconsumed log event
+  int prev_phase = 0;      // rip-up rounds already entered by the replay
+  auto bump_prev_history = [&]() {
+    for (std::size_t e = 0; e < ne; ++e)
+      if (u_prev[e] > opt_.edge_capacity) {
+        h_prev[e] += opt_.history_weight;
+        update_diff(static_cast<int>(e));
+      }
+  };
+  auto commit_prev = [&](const RouteLog::Event& ev) {
+    if (ev.phase >= 1) {
+      const auto it = prev_tree_of.find(ev.key);
+      LAC_CHECK(it != prev_tree_of.end());
+      for (const auto& [a, b] : it->second->edges) {
+        const int e = edge_index(a, b);
+        u_prev[static_cast<std::size_t>(e)] -= 1.0;
+        update_diff(e);
+      }
+    }
+    for (const auto& [a, b] : ev.tree.edges) {
+      const int e = edge_index(a, b);
+      u_prev[static_cast<std::size_t>(e)] += 1.0;
+      update_diff(e);
+    }
+    prev_tree_of[ev.key] = &ev.tree;
+  };
+  // Consumes log events before position `target` and applies the replayed
+  // run's round-boundary history bumps up to the target event's phase, so
+  // u_prev/h_prev are exactly the logged run's state just before `target`.
+  auto align_to = [&](std::size_t target) {
+    while (cursor < target) {
+      const auto& ev = prev.events[cursor];
+      while (prev_phase < ev.phase) {
+        bump_prev_history();
+        ++prev_phase;
+      }
+      commit_prev(ev);
+      ++cursor;
+    }
+    while (prev_phase < prev.events[target].phase) {
+      bump_prev_history();
+      ++prev_phase;
+    }
+  };
+
+  if (log != nullptr) {
+    log->nx = grid_.nx();
+    log->ny = grid_.ny();
+    log->requests = nets;
+    log->keys = keys;
+    log->events.clear();
+  }
+  IncRouteStats local_inc;
+  auto record = [&](long long key, int phase, const RouteTree& t) {
+    if (log != nullptr) log->events.push_back({key, phase, t});
+  };
+
+  // ---- initial pass, identical order to the cold path ---------------------
+  std::vector<std::size_t> order(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     auto net_span = [&](const RouteRequest& n) {
+                       Coord s = 0;
+                       for (const Cell& c : n.sinks)
+                         s += std::abs(c.gx - n.source.gx) +
+                              std::abs(c.gy - n.source.gy);
+                       return s;
+                     };
+                     return net_span(nets[a]) > net_span(nets[b]);
+                   });
+  for (const std::size_t i : order) {
+    const long long k = keys[i];
+    bool reused = false;
+    const auto pit = event_at.find({0, k});
+    const auto rit = prev_req_of.find(k);
+    const bool request_unchanged =
+        rit != prev_req_of.end() && prev.requests[rit->second] == nets[i];
+    if (!request_unchanged) ++local_inc.invalidated;
+    if (pit != event_at.end() && pit->second >= cursor) {
+      align_to(pit->second);
+      const auto& ev = prev.events[pit->second];
+      if (request_unchanged && n_diff == 0) {
+        trees[i] = ev.tree;
+        reused = true;
+      }
+      commit_prev(ev);
+      ++cursor;
+    }
+    if (!reused) trees[i] = route_one(nets[i]);
+    add_usage(trees[i], 1.0);
+    for (const auto& [a, b] : trees[i].edges) update_diff(edge_index(a, b));
+    record(k, 0, trees[i]);
+    ++(reused ? local_inc.reused_initial : local_inc.cold_initial);
+  }
+
+  // ---- rip-up rounds, identical schedule to the cold path -----------------
+  for (int round = 0; round < opt_.ripup_rounds; ++round) {
+    std::vector<char> overflowed(usage_.size(), 0);
+    int n_over = 0;
+    for (std::size_t e = 0; e < usage_.size(); ++e) {
+      if (usage_[e] > opt_.edge_capacity) {
+        overflowed[e] = 1;
+        ++n_over;
+        history_[e] += opt_.history_weight;
+        update_diff(static_cast<int>(e));
+      }
+    }
+    if (n_over == 0) break;
+    obs::Span round_span("route.ripup_round");
+    round_span.annotate("round", round + 1);
+    round_span.annotate("overflowed_edges", n_over);
+    stats_.ripup_rounds_used = round + 1;
+    std::vector<std::size_t> to_reroute;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      if (!trees[i].routed()) continue;
+      for (const auto& [a, b] : trees[i].edges)
+        if (overflowed[static_cast<std::size_t>(edge_index(a, b))]) {
+          to_reroute.push_back(i);
+          break;
+        }
+    }
+    for (const std::size_t i : to_reroute) {
+      const long long k = keys[i];
+      const std::vector<int> own_cur = edge_indices_of(trees[i]);
+      bool reused = false;
+      RouteTree next;
+      const auto pit = event_at.find({round + 1, k});
+      const auto rit = prev_req_of.find(k);
+      const bool request_unchanged =
+          rit != prev_req_of.end() && prev.requests[rit->second] == nets[i];
+      if (pit != event_at.end() && pit->second >= cursor && request_unchanged) {
+        align_to(pit->second);
+        const auto& ev = prev.events[pit->second];
+        // The logged Dijkstra ran with the net's own previous tree
+        // subtracted; the live one subtracts own_cur.  Outside the marked
+        // diff edges and the own-tree symmetric difference the adjusted
+        // costs agree automatically, so only those edges need checking.
+        const auto pt = prev_tree_of.find(k);
+        LAC_CHECK(pt != prev_tree_of.end());
+        const std::vector<int> own_prev = edge_indices_of(*pt->second);
+        auto adjusted_eq = [&](int e) {
+          const auto se = static_cast<std::size_t>(e);
+          if (h_prev[se] != history_[se]) return false;
+          const double ap =
+              u_prev[se] -
+              (std::binary_search(own_prev.begin(), own_prev.end(), e) ? 1.0
+                                                                       : 0.0);
+          const double ac =
+              usage_[se] -
+              (std::binary_search(own_cur.begin(), own_cur.end(), e) ? 1.0
+                                                                     : 0.0);
+          return cong_eq(ap, ac);
+        };
+        bool ok = true;
+        for (const int e : diff_list) {
+          if (!diff[static_cast<std::size_t>(e)]) continue;  // stale entry
+          if (!adjusted_eq(e)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          for (std::size_t a = 0, b = 0;
+               ok && (a < own_prev.size() || b < own_cur.size());) {
+            int e;
+            if (b >= own_cur.size() ||
+                (a < own_prev.size() && own_prev[a] < own_cur[b])) {
+              e = own_prev[a++];
+            } else if (a >= own_prev.size() || own_cur[b] < own_prev[a]) {
+              e = own_cur[b++];
+            } else {  // present in both: adjustment cancels
+              ++a;
+              ++b;
+              continue;
+            }
+            if (!adjusted_eq(e)) ok = false;
+          }
+        }
+        if (ok) {
+          next = ev.tree;
+          reused = true;
+        }
+        commit_prev(ev);
+        ++cursor;
+      }
+      // Rip the net's own tree, then (when not reusing) route on the live
+      // state with no overlay — exactly the sequential reference semantics.
+      add_usage(trees[i], -1.0);
+      for (const int e : own_cur) update_diff(e);
+      if (!reused) next = route_one(nets[i]);
+      trees[i] = std::move(next);
+      add_usage(trees[i], 1.0);
+      for (const auto& [a, b] : trees[i].edges) update_diff(edge_index(a, b));
+      record(k, round + 1, trees[i]);
+      ++(reused ? local_inc.reused_ripup : local_inc.cold_ripup);
+    }
+    const long long rerouted = static_cast<long long>(to_reroute.size());
+    stats_.nets_rerouted += rerouted;
+    round_span.annotate("nets_rerouted", rerouted);
+  }
+
+  finalize_stats(trees);
   span.annotate("nets_routed", stats_.nets_routed);
   span.annotate("nets_rerouted", stats_.nets_rerouted);
   span.annotate("ripup_rounds_used", stats_.ripup_rounds_used);
   span.annotate("overflowed_edges", stats_.overflowed_edges);
   span.annotate("max_usage", stats_.max_usage);
   span.annotate("total_wirelength_um", stats_.total_wirelength_um);
-  obs::count("route.nets", stats_.nets_routed);
-  obs::count("route.nets_rerouted", stats_.nets_rerouted);
-  obs::count("route.overflowed_edges", stats_.overflowed_edges);
-  obs::observe("route.max_usage", stats_.max_usage);
+  if (inc != nullptr) *inc = local_inc;
   return trees;
 }
 

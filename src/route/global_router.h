@@ -28,6 +28,7 @@ struct Cell {
 struct RouteRequest {
   Cell source;
   std::vector<Cell> sinks;
+  friend bool operator==(const RouteRequest&, const RouteRequest&) = default;
 };
 
 struct RouteTree {
@@ -37,6 +38,35 @@ struct RouteTree {
   // Distinct tree edges, as (cell, cell) with the lower cell index first.
   std::vector<std::pair<int, int>> edges;
   [[nodiscard]] bool routed() const { return !sink_paths.empty(); }
+  friend bool operator==(const RouteTree&, const RouteTree&) = default;
+};
+
+// Replay log of one route_all run: every tree commit, in commit order,
+// tagged with a caller-stable net key.  Feeding the log of a previous run
+// into route_all_incremental() lets an ECO re-plan skip the Dijkstra for
+// nets whose cost field provably matches the logged run (see the exactness
+// notes there) while still producing bit-identical results.
+struct RouteLog {
+  struct Event {
+    long long key = 0;  // caller-stable net identity (e.g. driver cell id)
+    int phase = 0;      // 0 = initial pass; r >= 1 = rip-up round r
+    RouteTree tree;     // the tree committed for `key` at this point
+  };
+  int nx = 0, ny = 0;                  // grid dims the log was recorded on
+  std::vector<RouteRequest> requests;  // per net, in route_all input order
+  std::vector<long long> keys;         // parallel to requests; unique
+  std::vector<Event> events;           // in commit order (phases ascending)
+};
+
+// Work accounting for route_all_incremental (effort only — the routing
+// result and RoutingStats are bit-identical to a cold route_all).
+struct IncRouteStats {
+  long long reused_initial = 0;  // initial-pass trees reused from the log
+  long long cold_initial = 0;    // initial-pass Dijkstra runs
+  long long reused_ripup = 0;    // rip-up reroutes reused from the log
+  long long cold_ripup = 0;      // rip-up Dijkstra runs
+  long long invalidated = 0;     // nets with no/changed request in the log
+  bool full_fallback = false;    // grid dims changed: batched cold reroute
 };
 
 struct RouterOptions {
@@ -78,9 +108,37 @@ class GlobalRouter {
   [[nodiscard]] std::vector<RouteTree> route_all(
       const std::vector<RouteRequest>& nets);
 
+  // Same routing, recording a replay log.  `keys[i]` is a caller-stable
+  // identity for nets[i] (unique); the result is bit-identical to
+  // route_all(nets).
+  [[nodiscard]] std::vector<RouteTree> route_all_logged(
+      const std::vector<RouteRequest>& nets, const std::vector<long long>& keys,
+      RouteLog* log);
+
+  // Incremental re-route against the log of a previous run on an
+  // identically-sized grid.  The result (trees, usage, history, stats())
+  // is bit-identical to route_all(nets) on a fresh router: a logged tree is
+  // reused only when the net's request is unchanged AND the replayed cost
+  // field of the logged run matches the current cost field everywhere (the
+  // edge cost is flat below half capacity, so usage drift inside the flat
+  // region keeps costs — and hence Dijkstra results, including tie-breaks —
+  // identical); every other net runs the normal Dijkstra on current state.
+  // When grid dims differ from the log, falls back to route_all_logged.
+  // `inc` (optional) receives the work accounting; `log` (optional)
+  // records this run for the next increment.
+  [[nodiscard]] std::vector<RouteTree> route_all_incremental(
+      const std::vector<RouteRequest>& nets, const std::vector<long long>& keys,
+      const RouteLog& prev, RouteLog* log, IncRouteStats* inc);
+
   [[nodiscard]] const RoutingStats& stats() const { return stats_; }
 
  private:
+  [[nodiscard]] std::vector<RouteTree> route_all_impl(
+      const std::vector<RouteRequest>& nets, const std::vector<long long>* keys,
+      RouteLog* log);
+  // Fills the final-usage part of stats_ and emits the route.* counters
+  // (shared by the batched and incremental drivers).
+  void finalize_stats(const std::vector<RouteTree>& trees);
   [[nodiscard]] RouteTree route_one(const RouteRequest& net) const;
   // Core maze routing against an explicit usage array.  `removed_edges`
   // (sorted edge indices, may be null) is an overlay subtracting one track
@@ -108,6 +166,11 @@ class GlobalRouter {
   std::vector<double> usage_;
   std::vector<double> history_;
   RoutingStats stats_;
+  // Replay-log recording context, set for the duration of route_all_impl
+  // (route_batch appends one event per commit when log_ is non-null).
+  RouteLog* log_ = nullptr;
+  const std::vector<long long>* log_keys_ = nullptr;
+  int log_phase_ = 0;
 };
 
 }  // namespace lac::route

@@ -90,6 +90,13 @@ void TileGrid::consume(TileId t, double area) {
   capacity_[t.index()] -= area;
 }
 
+void TileGrid::scale_capacity(TileId t, double factor) {
+  LAC_CHECK(t.valid() && t.index() < capacity_.size());
+  LAC_CHECK(factor >= 0.0);
+  capacity_[t.index()] *= factor;
+  total_capacity_[t.index()] *= factor;
+}
+
 double TileGrid::total_channel_capacity() const {
   double sum = 0.0;
   for (int t = 0; t < num_tiles(); ++t)

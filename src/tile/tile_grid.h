@@ -80,6 +80,11 @@ class TileGrid {
   // reporting overfull tiles.
   void consume(TileId t, double area);
 
+  // Scales both remaining and total capacity of tile t (ECO capacity
+  // overrides: derating a block or channel without re-deriving the grid).
+  // `factor` must be >= 0.
+  void scale_capacity(TileId t, double factor);
+
   // Aggregates for reporting.
   [[nodiscard]] double total_channel_capacity() const;
   [[nodiscard]] int num_soft_tiles() const;

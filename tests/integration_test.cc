@@ -101,7 +101,7 @@ TEST(Integration, RouterDeterministic) {
 TEST(Integration, PlannerRerunFromSameConfigIdentical) {
   const auto nl = bench89::load(bench89::entry_by_name("y298"));
   planner::PlannerConfig cfg;
-  cfg.seed = 42;
+  cfg.run.seed = 42;
   cfg.num_blocks = 6;
   planner::InterconnectPlanner p1(cfg), p2(cfg);
   const auto a = p1.plan(nl);
@@ -117,7 +117,7 @@ TEST(Integration, SuiteSmokeAllCircuitsPlanAndVerify) {
     const auto& entry = bench89::entry_by_name(name);
     const auto nl = bench89::load(entry);
     planner::PlannerConfig cfg;
-    cfg.seed = 7;
+    cfg.run.seed = 7;
     cfg.num_blocks = entry.recommended_blocks;
     cfg.fp_opt.sa_moves_per_block = 150;
     planner::InterconnectPlanner planner(cfg);

@@ -50,6 +50,16 @@ run_expect(64 ${TABLE1} --lac-incremental bogus)
 run_expect(64 ${TABLE1} --lac-incremental 1)
 run_expect(64 ${TABLE1} --lac-incremental)
 
+# --eco: journal-driven tools read the file in parse_cli (missing file is
+# EX_NOINPUT, 66) and validate the content before planning (malformed
+# journal is a usage error, 64).  Tools without the flag reject it.
+run_expect(0 ${ECO_REPLAN} --help)
+run_expect(64 ${ECO_REPLAN} --eco)
+run_expect(66 ${ECO_REPLAN} --eco ${WORK_DIR}/no_such_journal.eco)
+file(WRITE "${WORK_DIR}/bad_journal.eco" "resize_block one hundred\n")
+run_expect(64 ${ECO_REPLAN} ${WORK_DIR} --eco ${WORK_DIR}/bad_journal.eco)
+run_expect(64 ${TABLE1} --eco ${WORK_DIR}/bad_journal.eco)
+
 # diff: clean self-diff, exit 2 when a deterministic counter
 # (mcf.augmentations) was doctored — timings alone must not mask it even
 # with --timings-warn-only.

@@ -137,6 +137,79 @@ TEST(BenchIo, RoundTripIsStructurallyIdentical) {
   }
 }
 
+TEST(NetlistEco, RewireFaninSwapsOneEntryAndKeepsFanoutsConsistent) {
+  Netlist nl("eco");
+  const CellId a = nl.add_cell("a", CellType::kInput);
+  const CellId b = nl.add_cell("b", CellType::kNot);
+  const CellId g = nl.add_cell("g", CellType::kAnd);
+  nl.connect(b, a);
+  nl.connect(g, a);
+  nl.connect(g, b);
+
+  nl.rewire_fanin(g, a, b);  // g(a, b) -> g(b, b)
+  ASSERT_EQ(nl.fanins(g).size(), 2u);
+  EXPECT_EQ(nl.fanins(g)[0], b);
+  EXPECT_EQ(nl.fanins(g)[1], b);
+  // a's only remaining fanout is b.
+  ASSERT_EQ(nl.fanouts(a).size(), 1u);
+  EXPECT_EQ(nl.fanouts(a)[0], b);
+  EXPECT_EQ(nl.fanouts(b).size(), 2u);
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(NetlistEco, RemoveCellBypassesBufferAndKeepsIdsStable) {
+  Netlist nl("eco");
+  const CellId a = nl.add_cell("a", CellType::kInput);
+  const CellId buf = nl.add_cell("buf", CellType::kBuf);
+  const CellId g = nl.add_cell("g", CellType::kNot);
+  nl.connect(buf, a);
+  nl.connect(g, buf);
+
+  nl.remove_cell(buf);  // single fanin: g is rewired straight to a
+  EXPECT_TRUE(nl.is_removed(buf));
+  ASSERT_EQ(nl.fanins(g).size(), 1u);
+  EXPECT_EQ(nl.fanins(g)[0], a);
+  // Ids are stable (tombstone, not compaction): num_cells still counts the
+  // slot, cells() skips it, and the name is free for reuse.
+  EXPECT_EQ(nl.num_cells(), 3);
+  int live = 0;
+  for (const auto c : nl.cells()) {
+    EXPECT_NE(c, buf);
+    ++live;
+  }
+  EXPECT_EQ(live, 2);
+  EXPECT_FALSE(nl.find("buf").has_value());
+  const CellId buf2 = nl.add_cell("buf", CellType::kBuf);
+  EXPECT_NE(buf2, buf);
+  nl.connect(buf2, a);  // arity: a dangling buffer would fail validate()
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(NetlistEco, RemoveSinkWithNoFanouts) {
+  Netlist nl("eco");
+  const CellId a = nl.add_cell("a", CellType::kInput);
+  const CellId g = nl.add_cell("g", CellType::kNot);
+  nl.connect(g, a);
+
+  nl.remove_cell(g);
+  EXPECT_TRUE(nl.is_removed(g));
+  EXPECT_TRUE(nl.fanouts(a).empty());
+  EXPECT_FALSE(nl.validate().has_value());
+}
+
+TEST(NetlistEco, RemoveMultiFaninCellWithFanoutsRejected) {
+  Netlist nl("eco");
+  const CellId a = nl.add_cell("a", CellType::kInput);
+  const CellId b = nl.add_cell("b", CellType::kInput);
+  const CellId g = nl.add_cell("g", CellType::kAnd);
+  const CellId h = nl.add_cell("h", CellType::kNot);
+  nl.connect(g, a);
+  nl.connect(g, b);
+  nl.connect(h, g);
+  // Two fanins and a live fanout: no unambiguous bypass exists.
+  EXPECT_THROW(nl.remove_cell(g), CheckError);
+}
+
 TEST(BenchIo, UndefinedSignalRejected) {
   EXPECT_THROW(parse_bench("a = NOT(ghost)\n"), CheckError);
 }

@@ -23,7 +23,7 @@ netlist::Netlist small_circuit(std::uint64_t seed = 17) {
 PlannerConfig fast_config() {
   PlannerConfig cfg;
   cfg.num_blocks = 5;
-  cfg.seed = 11;
+  cfg.run.seed = 11;
   cfg.fp_opt.sa_moves_per_block = 150;  // keep tests quick
   return cfg;
 }
@@ -95,15 +95,49 @@ TEST(Planner, GraphContainsInterconnectUnitsForSpreadCircuits) {
 TEST(Planner, ReplanOnlyWhenViolationsRemain) {
   const auto nl = small_circuit();
   InterconnectPlanner planner(fast_config());
-  const auto res = planner.plan(nl);
-  const auto second = planner.replan_expanded(nl, res);
+  PlanOptions opts;
+  opts.max_iterations = 2;
+  const auto results = planner.plan(nl, opts);
+  const auto& res = results.front();
   if (res.lac.report.fits()) {
-    EXPECT_FALSE(second.has_value());
+    EXPECT_EQ(results.size(), 1u);
   } else {
-    ASSERT_TRUE(second.has_value());
-    EXPECT_LE(second->lac.report.n_foa, res.lac.report.n_foa);
-    EXPECT_GE(second->fp.chip.area(), res.fp.chip.area() * 0.9);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_LE(results[1].lac.report.n_foa, res.lac.report.n_foa);
+    EXPECT_GE(results[1].fp.chip.area(), res.fp.chip.area() * 0.9);
   }
+}
+
+TEST(Planner, DeprecatedReplanExpandedStillWorks) {
+  const auto nl = small_circuit();
+  InterconnectPlanner planner(fast_config());
+  const auto res = planner.plan(nl);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto second = planner.replan_expanded(nl, res);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(second.has_value(), !res.lac.report.fits());
+}
+
+TEST(Planner, DeprecatedConfigAliasesStillNormalise) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  PlannerConfig cfg;
+  cfg.seed = 123;
+  cfg.observability = obs::Override::kOff;
+  const InterconnectPlanner planner(cfg);
+  EXPECT_EQ(planner.config().run.seed, 123u);
+  EXPECT_EQ(planner.config().run.observability, obs::Override::kOff);
+  // Both views agree after normalisation.
+  EXPECT_EQ(planner.config().seed, 123u);
+
+  // An explicitly-set run.* field wins over the old alias.
+  PlannerConfig both;
+  both.seed = 5;
+  both.run.seed = 9;
+  EXPECT_EQ(InterconnectPlanner(both).config().run.seed, 9u);
+  EXPECT_EQ(InterconnectPlanner(both).config().seed, 9u);
+#pragma GCC diagnostic pop
 }
 
 TEST(Planner, HardBlocksSupported) {
@@ -132,7 +166,7 @@ TEST(Planner, S27EndToEnd) {
 TEST(Planner, PlanEmitsStageSpansAndConvergenceHistory) {
   const auto nl = small_circuit();
   PlannerConfig cfg = fast_config();
-  cfg.observability = obs::Override::kOn;  // independent of LAC_OBS
+  cfg.run.observability = obs::Override::kOn;  // independent of LAC_OBS
   InterconnectPlanner planner(cfg);
   (void)obs::take_finished_roots();  // drain other tests' traces
   const auto res = planner.plan(nl);
@@ -169,7 +203,7 @@ TEST(Planner, PlanEmitsStageSpansAndConvergenceHistory) {
 TEST(Planner, ObservabilityOffSuppressesTracing) {
   const auto nl = small_circuit();
   PlannerConfig cfg = fast_config();
-  cfg.observability = obs::Override::kOff;
+  cfg.run.observability = obs::Override::kOff;
   InterconnectPlanner planner(cfg);
   (void)obs::take_finished_roots();
   const auto res = planner.plan(nl);

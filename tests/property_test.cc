@@ -33,7 +33,7 @@ TEST_P(PlanSweep, PlanVerifiesEndToEnd) {
 
   planner::PlannerConfig cfg;
   cfg.num_blocks = p.blocks;
-  cfg.seed = p.seed * 31 + 7;
+  cfg.run.seed = p.seed * 31 + 7;
   cfg.clock_slack_fraction = p.slack_fraction;
   cfg.hard_block_fraction = p.hard_fraction;
   cfg.fp_opt.sa_moves_per_block = 120;

@@ -10,7 +10,7 @@ namespace {
 PlannerConfig fast_config() {
   PlannerConfig cfg;
   cfg.num_blocks = 5;
-  cfg.seed = 21;
+  cfg.run.seed = 21;
   cfg.fp_opt.sa_moves_per_block = 150;
   return cfg;
 }
